@@ -1,0 +1,123 @@
+// Shared benchmark harness: threaded two-rank ping-pong over the simulated
+// fabric, reporting virtual-time latency / bandwidth exactly the way the
+// paper's figures do (the mean of kRuns repetitions; RunningStats also
+// carries min/max/stddev for error bars).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/stats.hpp"
+#include "base/time.hpp"
+#include "p2p/communicator.hpp"
+#include "p2p/universe.hpp"
+
+namespace mpicd::bench {
+
+// Number of ping-pong iterations for a given message size: enough for a
+// stable average, bounded so multi-megabyte points stay fast.
+[[nodiscard]] inline int iters_for(Count bytes) {
+    if (bytes <= 4 * 1024) return 100;
+    if (bytes <= 64 * 1024) return 40;
+    if (bytes <= 1024 * 1024) return 16;
+    return 6;
+}
+
+inline constexpr int kWarmup = 3;
+inline constexpr int kRuns = 4; // the paper reports the average of 4 runs
+
+// One benchmarked method: per-iteration bodies for both ranks. The rank-0
+// body must perform a send followed by a matching receive (ping-pong); the
+// rank-1 body the mirror image.
+struct Method {
+    std::string name;
+    std::function<void(p2p::Communicator&, int iter)> rank0;
+    std::function<void(p2p::Communicator&, int iter)> rank1;
+};
+
+// Runs warmup + iters ping-pongs on two rank threads; returns the average
+// one-way virtual time in microseconds.
+[[nodiscard]] inline SimTime run_pingpong(p2p::Universe& uni, const Method& m,
+                                          int warmup, int iters) {
+    SimTime start = 0.0, stop = 0.0;
+    std::thread t1([&] {
+        auto& comm = uni.comm(1);
+        for (int i = 0; i < warmup + iters; ++i) m.rank1(comm, i);
+    });
+    {
+        auto& comm = uni.comm(0);
+        for (int i = 0; i < warmup; ++i) m.rank0(comm, i);
+        start = comm.now();
+        for (int i = warmup; i < warmup + iters; ++i) m.rank0(comm, i);
+        stop = comm.now();
+    }
+    t1.join();
+    return (stop - start) / (2.0 * iters);
+}
+
+// Average of kRuns repetitions on a fresh universe each run.
+[[nodiscard]] inline RunningStats measure(const Method& m, int iters,
+                                          const netsim::WireParams& params) {
+    RunningStats stats;
+    for (int run = 0; run < kRuns; ++run) {
+        p2p::Universe uni(2, params);
+        stats.add(run_pingpong(uni, m, kWarmup, iters));
+    }
+    return stats;
+}
+
+[[nodiscard]] inline double bandwidth_MBps(Count bytes, SimTime oneway_us) {
+    return oneway_us > 0 ? static_cast<double>(bytes) / oneway_us : 0.0;
+}
+
+// --- Table printing -----------------------------------------------------------
+
+class Table {
+public:
+    Table(std::string title, std::string xlabel, std::vector<std::string> columns)
+        : title_(std::move(title)), xlabel_(std::move(xlabel)),
+          columns_(std::move(columns)) {}
+
+    void add_row(const std::string& x, const std::vector<double>& values) {
+        rows_.push_back({x, values});
+    }
+
+    void print() const {
+        std::printf("\n# %s\n", title_.c_str());
+        std::printf("%-14s", xlabel_.c_str());
+        for (const auto& c : columns_) std::printf(" %16s", c.c_str());
+        std::printf("\n");
+        for (const auto& row : rows_) {
+            std::printf("%-14s", row.x.c_str());
+            for (const double v : row.values) std::printf(" %16.2f", v);
+            std::printf("\n");
+        }
+        std::fflush(stdout);
+    }
+
+private:
+    struct Row {
+        std::string x;
+        std::vector<double> values;
+    };
+    std::string title_, xlabel_;
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+};
+
+[[nodiscard]] inline std::string size_label(Count bytes) {
+    char buf[32];
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+        std::snprintf(buf, sizeof(buf), "%lldM", bytes / (1024 * 1024));
+    } else if (bytes >= 1024 && bytes % 1024 == 0) {
+        std::snprintf(buf, sizeof(buf), "%lldK", bytes / 1024);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lld", bytes);
+    }
+    return buf;
+}
+
+} // namespace mpicd::bench

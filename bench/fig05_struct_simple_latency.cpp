@@ -1,0 +1,25 @@
+// Figure 5: latency of the struct-simple type (Listing 7). The interior
+// gap forces the derived-datatype engine into per-element two-segment
+// copies, so the baseline is much slower than custom / manual packing.
+#include "rust_methods.hpp"
+
+int main() {
+    using namespace mpicd;
+    using namespace mpicd::bench;
+    const auto params = netsim::WireParams::from_env();
+    const auto ddt = core::struct_simple_dt();
+
+    Table table("Fig.5  struct-simple latency (us, one-way)", "size",
+                {"custom", "packed", "rsmpi-ddt"});
+    for (Count count = 1; count <= (1 << 15); count *= 4) {
+        const Count size = count * core::kScalarPack;
+        const int iters = iters_for(size);
+        std::vector<double> row;
+        row.push_back(measure(SimpleBench::custom(count), iters, params).mean());
+        row.push_back(measure(SimpleBench::packed(count), iters, params).mean());
+        row.push_back(measure(SimpleBench::derived(count, ddt), iters, params).mean());
+        table.add_row(size_label(size), row);
+    }
+    table.print();
+    return 0;
+}

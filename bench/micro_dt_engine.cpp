@@ -1,0 +1,86 @@
+// Microbenchmark (google-benchmark): derived-datatype convertor pack
+// throughput across type shapes — contiguous (single memcpy), strided
+// vector (medium segments) and gapped struct (two tiny segments per
+// element, the worst case driving the paper's Fig. 5 baseline).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dt/convertor.hpp"
+
+namespace {
+
+using namespace mpicd;
+using namespace mpicd::dt;
+
+void BM_PackContiguous(benchmark::State& state) {
+    const Count n = state.range(0);
+    auto t = Datatype::contiguous(n / 8, type_double());
+    (void)t->commit();
+    std::vector<double> data(static_cast<std::size_t>(n / 8), 1.0);
+    ByteVec out(static_cast<std::size_t>(n));
+    for (auto _ : state) {
+        Count used = 0;
+        benchmark::DoNotOptimize(
+            Convertor::pack_all(t, data.data(), 1, out, &used));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PackContiguous)->Range(4 << 10, 4 << 20);
+
+void BM_PackStridedVector(benchmark::State& state) {
+    const Count n = state.range(0);
+    const Count blocks = n / 64; // 64 B blocks, half-dense stride
+    auto t = Datatype::vector(blocks, 8, 16, type_double());
+    (void)t->commit();
+    std::vector<double> data(static_cast<std::size_t>(blocks * 16 + 8), 1.0);
+    ByteVec out(static_cast<std::size_t>(n));
+    for (auto _ : state) {
+        Count used = 0;
+        benchmark::DoNotOptimize(
+            Convertor::pack_all(t, data.data(), 1, out, &used));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PackStridedVector)->Range(4 << 10, 4 << 20);
+
+void BM_PackGappedStruct(benchmark::State& state) {
+    // The paper's struct-simple: 12 B + 8 B segments per 24 B element.
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto s = Datatype::struct_(blocklens, displs, types);
+    auto t = Datatype::resized(s, 0, 24);
+    (void)t->commit();
+    const Count count = state.range(0) / 20;
+    ByteVec data(static_cast<std::size_t>(count * 24));
+    ByteVec out(static_cast<std::size_t>(count * 20));
+    for (auto _ : state) {
+        Count used = 0;
+        benchmark::DoNotOptimize(
+            Convertor::pack_all(t, data.data(), count, out, &used));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * count * 20);
+}
+BENCHMARK(BM_PackGappedStruct)->Range(4 << 10, 4 << 20);
+
+void BM_UnpackGappedStruct(benchmark::State& state) {
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto s = Datatype::struct_(blocklens, displs, types);
+    auto t = Datatype::resized(s, 0, 24);
+    (void)t->commit();
+    const Count count = state.range(0) / 20;
+    ByteVec data(static_cast<std::size_t>(count * 24));
+    ByteVec in(static_cast<std::size_t>(count * 20));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Convertor::unpack_all(t, data.data(), count, in));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * count * 20);
+}
+BENCHMARK(BM_UnpackGappedStruct)->Range(4 << 10, 4 << 20);
+
+} // namespace
+
+BENCHMARK_MAIN();

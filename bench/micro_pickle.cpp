@@ -1,0 +1,71 @@
+// Microbenchmark (google-benchmark): pickle dumps/loads throughput,
+// in-band vs out-of-band — the serialization-side costs behind Figs. 8–9.
+#include <benchmark/benchmark.h>
+
+#include "pysim/pickle.hpp"
+
+namespace {
+
+using namespace mpicd;
+using namespace mpicd::pysim;
+
+PyValue array_object(Count bytes) {
+    return PyValue(NdArray::pattern(DType::u8, {bytes}, 1));
+}
+
+void BM_DumpsInBand(benchmark::State& state) {
+    const auto v = array_object(state.range(0));
+    for (auto _ : state) {
+        Pickled p;
+        benchmark::DoNotOptimize(dumps(v, DumpOptions{}, &p));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_DumpsInBand)->Range(4 << 10, 16 << 20);
+
+void BM_DumpsOutOfBand(benchmark::State& state) {
+    const auto v = array_object(state.range(0));
+    DumpOptions opts;
+    opts.out_of_band = true;
+    for (auto _ : state) {
+        Pickled p;
+        benchmark::DoNotOptimize(dumps(v, opts, &p));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_DumpsOutOfBand)->Range(4 << 10, 16 << 20);
+
+void BM_LoadsInBand(benchmark::State& state) {
+    const auto v = array_object(state.range(0));
+    Pickled p;
+    (void)dumps(v, DumpOptions{}, &p);
+    for (auto _ : state) {
+        PyValue out;
+        benchmark::DoNotOptimize(loads(p.stream, &out));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_LoadsInBand)->Range(4 << 10, 16 << 20);
+
+void BM_LoadsAllocOutOfBand(benchmark::State& state) {
+    const auto v = array_object(state.range(0));
+    DumpOptions opts;
+    opts.out_of_band = true;
+    Pickled p;
+    (void)dumps(v, opts, &p);
+    for (auto _ : state) {
+        PyValue out;
+        std::vector<IovEntry> fill;
+        benchmark::DoNotOptimize(loads_alloc(p.stream, &out, &fill));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_LoadsAllocOutOfBand)->Range(4 << 10, 16 << 20);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Table I: benchmark characteristics, printed from the kernel metadata so
+// the table cannot drift from the implementation.
+#include <cstdio>
+
+#include "ddtbench/kernel.hpp"
+
+int main() {
+    using namespace mpicd::ddtbench;
+    std::printf("# Table I: Benchmark characteristics\n");
+    std::printf("%-14s %-26s %-42s %s\n", "Benchmark", "MPI Datatypes",
+                "Loop Structure", "Memory Regions");
+    for (const auto& name : kernel_names()) {
+        const auto k = make_kernel(name);
+        const auto info = k->info();
+        std::printf("%-14s %-26s %-42s %s\n", info.name.c_str(),
+                    info.mpi_datatypes.c_str(), info.loop_structure.c_str(),
+                    info.memory_regions ? "yes" : "-");
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Byte-span aliases and small helpers used across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace mpicd {
+
+using ConstBytes = std::span<const std::byte>;
+using MutBytes = std::span<std::byte>;
+using ByteVec = std::vector<std::byte>;
+
+// MPI-style large count (the paper's callbacks all use MPI_Count).
+// `long long` rather than int64_t so it is the SAME type as the C API's
+// MPI_Count on every platform (int64_t is `long` on LP64).
+using Count = long long;
+static_assert(sizeof(Count) == 8);
+
+[[nodiscard]] inline ConstBytes as_bytes_of(const void* p, std::size_t n) noexcept {
+    return {static_cast<const std::byte*>(p), n};
+}
+
+[[nodiscard]] inline MutBytes as_mut_bytes_of(void* p, std::size_t n) noexcept {
+    return {static_cast<std::byte*>(p), n};
+}
+
+template <typename T>
+[[nodiscard]] ConstBytes object_bytes(const T& v) noexcept {
+    return as_bytes_of(&v, sizeof(T));
+}
+
+[[nodiscard]] constexpr std::size_t align_up(std::size_t n, std::size_t a) noexcept {
+    return (n + a - 1) / a * a;
+}
+
+// Copy `src` into `dst` at `offset`, growing `dst` as needed.
+inline void append_bytes(ByteVec& dst, ConstBytes src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// A single scatter/gather entry — the unit of the paper's "memory region"
+// concept (Listing 5) and of the UCP iovec datatype.
+struct IovEntry {
+    void* base = nullptr;
+    Count len = 0; // bytes
+};
+
+struct ConstIovEntry {
+    const void* base = nullptr;
+    Count len = 0; // bytes
+};
+
+[[nodiscard]] inline Count iov_total(std::span<const IovEntry> iov) noexcept {
+    Count t = 0;
+    for (const auto& e : iov) t += e.len;
+    return t;
+}
+
+[[nodiscard]] inline Count iov_total(std::span<const ConstIovEntry> iov) noexcept {
+    Count t = 0;
+    for (const auto& e : iov) t += e.len;
+    return t;
+}
+
+} // namespace mpicd

@@ -1,0 +1,39 @@
+#include "base/config.hpp"
+
+#include <cstdlib>
+
+namespace mpicd {
+
+std::optional<std::string> env_string(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    return std::string(v);
+}
+
+std::optional<double> env_double(const char* name) {
+    auto s = env_string(name);
+    if (!s) return std::nullopt;
+    char* end = nullptr;
+    const double v = std::strtod(s->c_str(), &end);
+    if (end == s->c_str()) return std::nullopt;
+    return v;
+}
+
+std::optional<std::int64_t> env_int(const char* name) {
+    auto s = env_string(name);
+    if (!s) return std::nullopt;
+    char* end = nullptr;
+    const long long v = std::strtoll(s->c_str(), &end, 10);
+    if (end == s->c_str()) return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+double env_double_or(const char* name, double fallback) {
+    return env_double(name).value_or(fallback);
+}
+
+std::int64_t env_int_or(const char* name, std::int64_t fallback) {
+    return env_int(name).value_or(fallback);
+}
+
+} // namespace mpicd

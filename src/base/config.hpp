@@ -1,0 +1,23 @@
+// Environment-driven configuration.
+//
+// Every tunable of the simulated fabric and of the library defaults can be
+// overridden with MPICD_* environment variables; see netsim/wire_model.hpp
+// for the fabric parameters that consume these.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mpicd {
+
+// Returns the value of `name` if set and parseable, otherwise nullopt.
+[[nodiscard]] std::optional<double> env_double(const char* name);
+[[nodiscard]] std::optional<std::int64_t> env_int(const char* name);
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+// Convenience: env override with a default.
+[[nodiscard]] double env_double_or(const char* name, double fallback);
+[[nodiscard]] std::int64_t env_int_or(const char* name, std::int64_t fallback);
+
+} // namespace mpicd

@@ -1,0 +1,46 @@
+#include "base/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "base/config.hpp"
+
+namespace mpicd {
+
+namespace {
+
+LogLevel parse_level() {
+    auto s = env_string("MPICD_LOG");
+    if (!s) return LogLevel::warn;
+    if (*s == "error") return LogLevel::error;
+    if (*s == "warn") return LogLevel::warn;
+    if (*s == "info") return LogLevel::info;
+    if (*s == "debug") return LogLevel::debug;
+    return LogLevel::warn;
+}
+
+constexpr const char* level_name(LogLevel l) {
+    switch (l) {
+        case LogLevel::error: return "ERROR";
+        case LogLevel::warn: return "WARN";
+        case LogLevel::info: return "INFO";
+        case LogLevel::debug: return "DEBUG";
+    }
+    return "?";
+}
+
+std::mutex g_log_mutex;
+
+} // namespace
+
+LogLevel log_level() noexcept {
+    static const LogLevel level = parse_level();
+    return level;
+}
+
+void log_emit(LogLevel level, const std::string& msg) {
+    const std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[mpicd %s] %s\n", level_name(level), msg.c_str());
+}
+
+} // namespace mpicd

@@ -1,0 +1,28 @@
+// Minimal leveled logger, controlled by MPICD_LOG (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpicd {
+
+enum class LogLevel : int { error = 0, warn = 1, info = 2, debug = 3 };
+
+[[nodiscard]] LogLevel log_level() noexcept;
+void log_emit(LogLevel level, const std::string& msg);
+
+#define MPICD_LOG(level, ...)                                                 \
+    do {                                                                      \
+        if (static_cast<int>(level) <= static_cast<int>(::mpicd::log_level())) { \
+            std::ostringstream mpicd_log_os_;                                 \
+            mpicd_log_os_ << __VA_ARGS__;                                     \
+            ::mpicd::log_emit(level, mpicd_log_os_.str());                    \
+        }                                                                     \
+    } while (0)
+
+#define MPICD_LOG_ERROR(...) MPICD_LOG(::mpicd::LogLevel::error, __VA_ARGS__)
+#define MPICD_LOG_WARN(...) MPICD_LOG(::mpicd::LogLevel::warn, __VA_ARGS__)
+#define MPICD_LOG_INFO(...) MPICD_LOG(::mpicd::LogLevel::info, __VA_ARGS__)
+#define MPICD_LOG_DEBUG(...) MPICD_LOG(::mpicd::LogLevel::debug, __VA_ARGS__)
+
+} // namespace mpicd

@@ -1,0 +1,26 @@
+#include "base/stats.hpp"
+
+#include <cmath>
+
+namespace mpicd {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const noexcept {
+    if (n_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+} // namespace mpicd

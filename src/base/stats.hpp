@@ -1,0 +1,31 @@
+// Streaming statistics accumulator used by the benchmark harness to report
+// mean / min / max / stddev over repeated ping-pong iterations (the paper
+// reports the average of four runs with error bars).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpicd {
+
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    void reset() noexcept { *this = RunningStats{}; }
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    // Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+    [[nodiscard]] double stddev() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; // Welford accumulator
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace mpicd

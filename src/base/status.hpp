@@ -1,0 +1,69 @@
+// Status codes shared by every layer of the library.
+//
+// The paper's API propagates errors through integer return values from each
+// callback ("each callback returns either MPI_SUCCESS or an error value").
+// We mirror that: the C++ layers use `Status`, the C API maps it onto
+// MPI_SUCCESS / MPI_ERR_* style integers (see core/capi.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace mpicd {
+
+enum class Status : std::int32_t {
+    success = 0,
+    // Generic argument / usage errors.
+    err_arg,          // invalid argument
+    err_count,        // bad count
+    err_type,         // invalid or mismatched datatype
+    err_buffer,       // invalid buffer
+    err_truncate,     // receive buffer too small for incoming message
+    err_pending,      // operation still in progress
+    // Datatype-engine errors.
+    err_not_committed,  // datatype used before commit
+    err_unsupported,    // operation not supported for this datatype kind
+    // Custom-serialization errors (propagated from user callbacks).
+    err_pack,         // pack callback failed
+    err_unpack,       // unpack callback failed
+    err_query,        // query callback failed
+    err_region,       // region callback failed or inconsistent region data
+    err_state,        // state-creation callback failed
+    // Transport errors.
+    err_internal,     // invariant violation inside the library
+    err_no_match,     // probe with no matching message (internal use)
+    err_serialize,    // serialization substrate failure (bad stream, etc.)
+};
+
+[[nodiscard]] constexpr const char* to_cstring(Status s) noexcept {
+    switch (s) {
+        case Status::success: return "success";
+        case Status::err_arg: return "invalid argument";
+        case Status::err_count: return "invalid count";
+        case Status::err_type: return "invalid datatype";
+        case Status::err_buffer: return "invalid buffer";
+        case Status::err_truncate: return "message truncated";
+        case Status::err_pending: return "operation pending";
+        case Status::err_not_committed: return "datatype not committed";
+        case Status::err_unsupported: return "unsupported operation";
+        case Status::err_pack: return "pack callback failed";
+        case Status::err_unpack: return "unpack callback failed";
+        case Status::err_query: return "query callback failed";
+        case Status::err_region: return "region callback failed";
+        case Status::err_state: return "state callback failed";
+        case Status::err_internal: return "internal error";
+        case Status::err_no_match: return "no matching message";
+        case Status::err_serialize: return "serialization error";
+    }
+    return "unknown status";
+}
+
+[[nodiscard]] constexpr bool ok(Status s) noexcept { return s == Status::success; }
+
+// Early-return helper: propagate any non-success status to the caller.
+#define MPICD_RETURN_IF_ERROR(expr)                                   \
+    do {                                                              \
+        ::mpicd::Status mpicd_status_ = (expr);                       \
+        if (!::mpicd::ok(mpicd_status_)) return mpicd_status_;        \
+    } while (0)
+
+} // namespace mpicd

@@ -1,0 +1,49 @@
+// Virtual-time plumbing.
+//
+// Benchmarks in this repository report *virtual time*: the sum of
+//  - modeled costs (wire latency/bandwidth, protocol round trips,
+//    scatter-gather entry overhead, NIC-side copies), and
+//  - measured host work (datatype-engine pack loops, user pack/unpack
+//    callbacks, manual packing) timed with a monotonic clock.
+// See DESIGN.md §5. SimTime is in microseconds.
+#pragma once
+
+#include <chrono>
+
+namespace mpicd {
+
+// Microseconds of virtual time.
+using SimTime = double;
+
+// Monotonic host timer used to charge real CPU work to the virtual clock.
+class HostTimer {
+public:
+    HostTimer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    // Elapsed host time in microseconds.
+    [[nodiscard]] SimTime elapsed_us() const {
+        const auto d = clock::now() - start_;
+        return std::chrono::duration<double, std::micro>(d).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+// RAII helper: adds the measured duration of its scope to an accumulator.
+class ScopedMeasure {
+public:
+    explicit ScopedMeasure(SimTime& acc) : acc_(acc) {}
+    ~ScopedMeasure() { acc_ += timer_.elapsed_us(); }
+    ScopedMeasure(const ScopedMeasure&) = delete;
+    ScopedMeasure& operator=(const ScopedMeasure&) = delete;
+
+private:
+    SimTime& acc_;
+    HostTimer timer_;
+};
+
+} // namespace mpicd

@@ -1,0 +1,30 @@
+#include "core/custom_type.hpp"
+
+namespace mpicd::core {
+
+Status CustomDatatype::create(const CustomCallbacks& cb, CustomDatatype* out) {
+    if (out == nullptr) return Status::err_arg;
+    if (cb.query == nullptr || cb.pack == nullptr || cb.unpack == nullptr)
+        return Status::err_arg;
+    // Region callbacks come as a pair or not at all.
+    if ((cb.region_count == nullptr) != (cb.region == nullptr))
+        return Status::err_arg;
+    // State management likewise: a free function without a constructor
+    // (or vice versa) is a usage error.
+    if ((cb.state == nullptr) != (cb.state_free == nullptr)) return Status::err_arg;
+    out->cb_ = cb;
+    return Status::success;
+}
+
+Status CustomDatatype::make_state(const void* buf, Count count, void** state) const {
+    *state = nullptr;
+    if (cb_.state == nullptr) return Status::success;
+    const Status st = cb_.state(cb_.context, buf, count, state);
+    return ok(st) ? Status::success : Status::err_state;
+}
+
+void CustomDatatype::free_state(void* state) const {
+    if (cb_.state_free != nullptr && state != nullptr) (void)cb_.state_free(state);
+}
+
+} // namespace mpicd::core

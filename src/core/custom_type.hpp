@@ -1,0 +1,80 @@
+// Custom datatype API — the paper's primary contribution (Listings 2–5).
+//
+// A custom datatype is a set of application callbacks that give the MPI
+// library two capabilities the classic derived-datatype interface lacks:
+//   i)  fragment-oriented packing of non-contiguous / serialized data with
+//       virtual offsets (pack/unpack callbacks), and
+//   ii) extraction of contiguous memory regions that can go on the wire
+//       with no copy at all (region callbacks -> scatter-gather iovec).
+// Per-operation *state* objects carry application context between callback
+// invocations of a single send or receive (Listing 3).
+//
+// This header is the C++ face; src/core/capi.hpp exposes the exact C
+// signatures from the paper on top of it.
+#pragma once
+
+#include "base/bytes.hpp"
+#include "base/status.hpp"
+
+namespace mpicd::core {
+
+// Callback signatures, mirroring paper Listings 3–5 with C++ Status in
+// place of int error codes. All pointers follow the paper's contracts.
+struct CustomCallbacks {
+    // Listing 3: per-operation state management. `state` may be left null
+    // by simple types; it is threaded through every other callback.
+    Status (*state)(void* context, const void* src, Count src_count,
+                    void** state) = nullptr;
+    Status (*state_free)(void* state) = nullptr;
+
+    // Listing 4: total packed size of the in-band (packed) portion.
+    Status (*query)(void* state, const void* buf, Count count,
+                    Count* packed_size) = nullptr;
+    // Pack up to dst_size bytes at virtual offset `offset` of the packed
+    // stream into dst. May fill the buffer only partially (*used < dst_size).
+    Status (*pack)(void* state, const void* buf, Count count, Count offset,
+                   void* dst, Count dst_size, Count* used) = nullptr;
+    // Unpack one fragment of the packed stream received at `offset`.
+    Status (*unpack)(void* state, void* buf, Count count, Count offset,
+                     const void* src, Count src_size) = nullptr;
+
+    // Listing 5: memory-region (iovec) extraction. Optional as a pair;
+    // a type with no regions is fully packed.
+    Status (*region_count)(void* state, void* buf, Count count,
+                           Count* region_count) = nullptr;
+    Status (*region)(void* state, void* buf, Count count, Count region_count,
+                     void* reg_bases[], Count reg_lens[]) = nullptr;
+
+    // Opaque application context passed to the state callback (Listing 2).
+    void* context = nullptr;
+    // Paper Listing 2: when true the implementation must deliver packed
+    // fragments in increasing-offset order, inhibiting out-of-order
+    // optimizations.
+    bool inorder = false;
+};
+
+// An immutable committed custom datatype (MPI_Type_create_custom result).
+class CustomDatatype {
+public:
+    // Validates the callback set: query/pack/unpack are mandatory;
+    // region_count and region must be provided together.
+    [[nodiscard]] static Status create(const CustomCallbacks& cb, CustomDatatype* out);
+
+    CustomDatatype() = default;
+
+    [[nodiscard]] const CustomCallbacks& callbacks() const noexcept { return cb_; }
+    [[nodiscard]] bool inorder() const noexcept { return cb_.inorder; }
+    [[nodiscard]] bool has_regions() const noexcept {
+        return cb_.region_count != nullptr;
+    }
+    [[nodiscard]] bool valid() const noexcept { return cb_.pack != nullptr; }
+
+    // Convenience wrappers that tolerate null optional callbacks.
+    [[nodiscard]] Status make_state(const void* buf, Count count, void** state) const;
+    void free_state(void* state) const;
+
+private:
+    CustomCallbacks cb_{};
+};
+
+} // namespace mpicd::core

@@ -1,0 +1,207 @@
+// The evaluation datatypes from the paper (Listings 6–8) with their
+// CustomSerialize implementations. Shared by tests and benchmarks.
+//
+// All three structs reproduce the Rust #[repr(C)] layouts: three 32-bit
+// ints followed by a double leaves a 4-byte alignment gap between `c` and
+// `d` in struct_vec / struct_simple; struct_simple_no_gap removes the
+// third int and with it the gap.
+//
+// The scalar fields pack *directly* from the structs into the fragment
+// buffer at the requested virtual offset (single pass, like the paper's
+// Rust trait implementations) — no staging copy. Fragments that split an
+// element mid-record are handled through a 20-byte scratch; out-of-order /
+// partial unpack falls back to an assembly buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/builtin_serialize.hpp"
+#include "dt/datatype.hpp"
+
+namespace mpicd::core {
+
+inline constexpr std::size_t kStructVecData = 2048;
+
+// Paper Listing 6 (struct-vec): scalars packed in-band, `data` exposed as
+// a memory region.
+struct StructVec {
+    std::int32_t a = 0, b = 0, c = 0;
+    // 4-byte alignment gap here, as in the paper.
+    double d = 0.0;
+    std::int32_t data[kStructVecData] = {};
+};
+// 12 B scalars + 4 B gap + 8 B double + 8192 B data.
+static_assert(sizeof(StructVec) == 24 + 4 * kStructVecData);
+
+// Paper Listing 7 (struct-simple): scalars only, still with the gap.
+struct StructSimple {
+    std::int32_t a = 0, b = 0, c = 0;
+    double d = 0.0;
+};
+static_assert(sizeof(StructSimple) == 24);
+
+// Paper Listing 8 (struct-simple-no-gap): contiguous C layout.
+struct StructSimpleNoGap {
+    std::int32_t a = 0, b = 0;
+    double c = 0.0;
+};
+static_assert(sizeof(StructSimpleNoGap) == 16);
+
+// Packed size of the scalar fields of StructVec / StructSimple
+// (paper Listing 1: 3 ints + 1 double, gap elided).
+inline constexpr Count kScalarPack = 3 * 4 + 8;
+
+namespace detail_paper {
+
+// One packed 20-byte record of the scalar fields.
+template <typename S>
+inline void store_record(const S& s, std::byte* rec) {
+    std::memcpy(rec, &s.a, 12);
+    std::memcpy(rec + 12, &s.d, 8);
+}
+template <typename S>
+inline void load_record(S& s, const std::byte* rec) {
+    std::memcpy(&s.a, rec, 12);
+    std::memcpy(&s.d, rec + 12, 8);
+}
+
+// Direct-from-struct packing of the scalar fields at any virtual offset.
+template <typename S>
+struct FieldDirectSerialize {
+    struct State {
+        ByteVec assembly; // lazily allocated for fragmented unpack
+        Count received = 0;
+    };
+    static constexpr bool inorder = false;
+
+    static Status init(const S*, Count, State&) { return Status::success; }
+
+    static Status packed_size(State&, const S*, Count count, Count* size) {
+        *size = count * kScalarPack;
+        return Status::success;
+    }
+
+    static Status pack(State&, const S* buf, Count count, Count offset, void* dst,
+                       Count dst_size, Count* used) {
+        const Count total = count * kScalarPack;
+        if (offset < 0 || offset > total) return Status::err_pack;
+        Count n = std::min(dst_size, total - offset);
+        *used = n;
+        auto* out = static_cast<std::byte*>(dst);
+        Count elem = offset / kScalarPack;
+        Count into = offset % kScalarPack;
+        while (n > 0) {
+            if (into == 0 && n >= kScalarPack) {
+                store_record(buf[elem], out);
+                out += kScalarPack;
+                n -= kScalarPack;
+                ++elem;
+            } else {
+                std::byte rec[kScalarPack];
+                store_record(buf[elem], rec);
+                const Count take = std::min(n, kScalarPack - into);
+                std::memcpy(out, rec + into, static_cast<std::size_t>(take));
+                out += take;
+                n -= take;
+                into = 0;
+                ++elem;
+            }
+        }
+        return Status::success;
+    }
+
+    static Status unpack(State& st, S* buf, Count count, Count offset,
+                         const void* src, Count src_size) {
+        const Count total = count * kScalarPack;
+        if (offset < 0 || offset + src_size > total) return Status::err_unpack;
+        // Fast path: the whole packed stream in one call (the iov lowering
+        // always lands here) and record-aligned fragments.
+        if (offset % kScalarPack == 0 && src_size % kScalarPack == 0 &&
+            st.assembly.empty()) {
+            const auto* in = static_cast<const std::byte*>(src);
+            for (Count e = offset / kScalarPack; src_size > 0;
+                 ++e, in += kScalarPack, src_size -= kScalarPack) {
+                load_record(buf[e], in);
+            }
+            return Status::success;
+        }
+        // Fallback: assemble fragments, apply once complete.
+        if (st.assembly.empty()) st.assembly.resize(static_cast<std::size_t>(total));
+        std::memcpy(st.assembly.data() + offset, src,
+                    static_cast<std::size_t>(src_size));
+        st.received += src_size;
+        if (st.received >= total) {
+            for (Count e = 0; e < count; ++e)
+                load_record(buf[e], st.assembly.data() + e * kScalarPack);
+        }
+        return Status::success;
+    }
+};
+
+} // namespace detail_paper
+
+// struct-vec: scalars in-band + one region per element for `data`.
+template <>
+struct CustomSerialize<StructVec> : detail_paper::FieldDirectSerialize<StructVec> {
+    using Base = detail_paper::FieldDirectSerialize<StructVec>;
+    using State = typename Base::State;
+
+    static Status region_count(State&, StructVec*, Count count, Count* n) {
+        *n = count;
+        return Status::success;
+    }
+    static Status regions(State&, StructVec* buf, Count count, Count n, void** bases,
+                          Count* lens) {
+        if (n != count) return Status::err_region;
+        for (Count i = 0; i < count; ++i) {
+            bases[i] = buf[i].data;
+            lens[i] = static_cast<Count>(sizeof(buf[i].data));
+        }
+        return Status::success;
+    }
+};
+
+// struct-simple: fully packed (no regions).
+template <>
+struct CustomSerialize<StructSimple>
+    : detail_paper::FieldDirectSerialize<StructSimple> {};
+
+// struct-simple-no-gap: contiguous, a single zero-copy region.
+template <>
+struct CustomSerialize<StructSimpleNoGap>
+    : TrivialRegionSerialize<StructSimpleNoGap> {};
+
+// --- Derived-datatype (rsmpi-like) constructions for the same types, used
+// as the Open MPI baseline in Figs. 3–6.
+[[nodiscard]] inline dt::TypeRef struct_vec_dt() {
+    const Count blocklens[] = {3, 1, kStructVecData};
+    const Count displs[] = {0, 16, 24};
+    const dt::TypeRef types[] = {dt::type_int32(), dt::type_double(), dt::type_int32()};
+    auto t = dt::Datatype::struct_(blocklens, displs, types);
+    auto r = dt::Datatype::resized(t, 0, static_cast<Count>(sizeof(StructVec)));
+    (void)r->commit();
+    return r;
+}
+
+[[nodiscard]] inline dt::TypeRef struct_simple_dt() {
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const dt::TypeRef types[] = {dt::type_int32(), dt::type_double()};
+    auto t = dt::Datatype::struct_(blocklens, displs, types);
+    auto r = dt::Datatype::resized(t, 0, static_cast<Count>(sizeof(StructSimple)));
+    (void)r->commit();
+    return r;
+}
+
+[[nodiscard]] inline dt::TypeRef struct_simple_no_gap_dt() {
+    const Count blocklens[] = {2, 1};
+    const Count displs[] = {0, 8};
+    const dt::TypeRef types[] = {dt::type_int32(), dt::type_double()};
+    auto t = dt::Datatype::struct_(blocklens, displs, types);
+    auto r = dt::Datatype::resized(t, 0, static_cast<Count>(sizeof(StructSimpleNoGap)));
+    (void)r->commit();
+    return r;
+}
+
+} // namespace mpicd::core

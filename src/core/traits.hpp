@@ -1,0 +1,126 @@
+// CustomSerialize<T>: the C++ trait mirror of the paper's Rust traits.
+//
+// The mpicd prototype exposes the custom datatype machinery to Rust through
+// a trait implemented per type; here the same role is played by a template
+// specialization. Specialize CustomSerialize<T> with:
+//
+//   struct State;                       // per-operation state (Listing 3)
+//   static constexpr bool inorder;      // Listing 2 inorder flag
+//   static Status init(const T* buf, Count count, State& st);
+//   static Status packed_size(State&, const T* buf, Count count, Count* size);
+//   static Status pack(State&, const T* buf, Count count, Count offset,
+//                      void* dst, Count dst_size, Count* used);
+//   static Status unpack(State&, T* buf, Count count, Count offset,
+//                        const void* src, Count src_size);
+//   // optional (memory regions, Listing 5):
+//   static Status region_count(State&, T* buf, Count count, Count* n);
+//   static Status regions(State&, T* buf, Count count, Count n,
+//                         void** bases, Count* lens);
+//
+// custom_datatype_of<T>() erases the specialization into a CustomDatatype
+// usable with Communicator::{isend,irecv}_custom and the C API.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+
+#include "core/custom_type.hpp"
+
+namespace mpicd::core {
+
+template <typename T>
+struct CustomSerialize; // specialize per type
+
+namespace detail {
+
+template <typename T>
+concept HasRegions = requires(typename CustomSerialize<T>::State& st, T* buf,
+                              Count count, Count* n, void** bases, Count* lens) {
+    { CustomSerialize<T>::region_count(st, buf, count, n) } -> std::same_as<Status>;
+    { CustomSerialize<T>::regions(st, buf, count, Count{}, bases, lens) }
+        -> std::same_as<Status>;
+};
+
+template <typename T>
+class Adapter {
+    using CS = CustomSerialize<T>;
+    using State = typename CS::State;
+
+    static Status state_fn(void* /*context*/, const void* src, Count count,
+                           void** state) {
+        auto op = std::make_unique<State>();
+        MPICD_RETURN_IF_ERROR(CS::init(static_cast<const T*>(src), count, *op));
+        *state = op.release();
+        return Status::success;
+    }
+    static Status state_free_fn(void* state) {
+        delete static_cast<State*>(state);
+        return Status::success;
+    }
+    static Status query_fn(void* state, const void* buf, Count count, Count* size) {
+        return CS::packed_size(*static_cast<State*>(state), static_cast<const T*>(buf),
+                               count, size);
+    }
+    static Status pack_fn(void* state, const void* buf, Count count, Count offset,
+                          void* dst, Count dst_size, Count* used) {
+        return CS::pack(*static_cast<State*>(state), static_cast<const T*>(buf), count,
+                        offset, dst, dst_size, used);
+    }
+    static Status unpack_fn(void* state, void* buf, Count count, Count offset,
+                            const void* src, Count src_size) {
+        return CS::unpack(*static_cast<State*>(state), static_cast<T*>(buf), count,
+                          offset, src, src_size);
+    }
+    static Status region_count_fn(void* state, void* buf, Count count, Count* n) {
+        if constexpr (HasRegions<T>) {
+            return CS::region_count(*static_cast<State*>(state), static_cast<T*>(buf),
+                                    count, n);
+        } else {
+            (void)state; (void)buf; (void)count; (void)n;
+            return Status::err_internal;
+        }
+    }
+    static Status region_fn(void* state, void* buf, Count count, Count n, void** bases,
+                            Count* lens) {
+        if constexpr (HasRegions<T>) {
+            return CS::regions(*static_cast<State*>(state), static_cast<T*>(buf), count,
+                               n, bases, lens);
+        } else {
+            (void)state; (void)buf; (void)count; (void)n; (void)bases; (void)lens;
+            return Status::err_internal;
+        }
+    }
+
+public:
+    [[nodiscard]] static const CustomDatatype& datatype() {
+        static const CustomDatatype dt = [] {
+            CustomCallbacks cb;
+            cb.state = state_fn;
+            cb.state_free = state_free_fn;
+            cb.query = query_fn;
+            cb.pack = pack_fn;
+            cb.unpack = unpack_fn;
+            if constexpr (HasRegions<T>) {
+                cb.region_count = region_count_fn;
+                cb.region = region_fn;
+            }
+            cb.inorder = CS::inorder;
+            CustomDatatype out;
+            const Status st = CustomDatatype::create(cb, &out);
+            (void)st; // the adapter always provides a complete callback set
+            return out;
+        }();
+        return dt;
+    }
+};
+
+} // namespace detail
+
+// The process-wide committed custom datatype for T (cached, like RSMPI's
+// first-use datatype caching the paper describes in §II-D).
+template <typename T>
+[[nodiscard]] const CustomDatatype& custom_datatype_of() {
+    return detail::Adapter<T>::datatype();
+}
+
+} // namespace mpicd::core

@@ -1,0 +1,82 @@
+// Minimal C++20 generator coroutine.
+//
+// The paper (§V-C, Listing 9) uses std::generator to suspend a pack loop
+// nest mid-iteration and resume it for the next fragment buffer. GCC 12
+// ships C++20 coroutines but not std::generator (C++23), so this is the
+// small subset needed: lazily-resumed values, exception propagation, and
+// a final co_return value retrievable after exhaustion.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mpicd::coro {
+
+template <typename T>
+class generator {
+public:
+    struct promise_type {
+        std::optional<T> current;
+        std::optional<T> result; // value passed to co_return
+        std::exception_ptr exception;
+
+        generator get_return_object() {
+            return generator{std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        std::suspend_always yield_value(T value) {
+            current = std::move(value);
+            return {};
+        }
+        void return_value(T value) { result = std::move(value); }
+        void unhandled_exception() { exception = std::current_exception(); }
+    };
+
+    generator() = default;
+    explicit generator(std::coroutine_handle<promise_type> h) : handle_(h) {}
+    generator(generator&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+    generator& operator=(generator&& other) noexcept {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+    generator(const generator&) = delete;
+    generator& operator=(const generator&) = delete;
+    ~generator() { destroy(); }
+
+    // Resume the coroutine; returns the next co_yield value, or nullopt
+    // once the coroutine has co_returned (see result()).
+    [[nodiscard]] std::optional<T> next() {
+        if (!handle_ || handle_.done()) return std::nullopt;
+        handle_.promise().current.reset();
+        handle_.resume();
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+        if (handle_.done()) return std::nullopt;
+        return handle_.promise().current;
+    }
+
+    [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+    // The co_return value; valid once done().
+    [[nodiscard]] const std::optional<T>& result() const {
+        static const std::optional<T> none;
+        return handle_ ? handle_.promise().result : none;
+    }
+
+private:
+    void destroy() {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace mpicd::coro

@@ -1,0 +1,89 @@
+// DDTBench-style workload kernels (Schneider, Gerstenberger, Hoefler,
+// EuroMPI'12) — the subset the paper evaluates in §V-C / Fig. 10 /
+// Table I. Each kernel captures one application's halo/exchange data
+// access pattern:
+//
+//   LAMMPS   indexed+struct   single loop over 6 arrays (non-unit stride)
+//   MILC     strided vector   5 nested loops (non-unit stride)    regions
+//   NAS_LU_x contiguous       2 nested loops                      regions
+//   NAS_LU_y strided vector   2 nested loops (non-contiguous)     regions
+//   NAS_MG_x strided vector   2 nested loops (non-contiguous)     regions
+//   NAS_MG_y strided vector   2 nested loops (non-contiguous)     regions
+//   WRF_x/y  struct of strided vectors, 3/4/5 nested loops
+//
+// A kernel owns both a send-side and receive-side data set and exposes the
+// four transfer strategies Fig. 10 compares: manual pack loops, a derived
+// datatype, custom-datatype packing, and (where sensible) custom-datatype
+// memory regions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "core/custom_type.hpp"
+#include "dt/datatype.hpp"
+
+namespace mpicd::ddtbench {
+
+// Table I row.
+struct TableInfo {
+    std::string name;
+    std::string mpi_datatypes;
+    std::string loop_structure;
+    bool memory_regions = false;
+};
+
+class Kernel {
+public:
+    virtual ~Kernel() = default;
+
+    [[nodiscard]] virtual TableInfo info() const = 0;
+
+    // Reconfigure the problem so the exchanged payload is roughly
+    // `target_bytes` (exact size via payload_bytes()). Invalidates data.
+    virtual void resize(Count target_bytes) = 0;
+    [[nodiscard]] virtual Count payload_bytes() const = 0;
+
+    // Send-side data initialization / receive-side reset / validation that
+    // the receive side holds exactly what `sent` packed.
+    virtual void fill(unsigned seed) = 0;
+    virtual void clear() = 0;
+    [[nodiscard]] virtual bool verify(const Kernel& sent) const = 0;
+
+    // Manual C-loop pack/unpack; dst/src holds payload_bytes() bytes.
+    virtual void manual_pack(std::byte* dst) const = 0;
+    virtual void manual_unpack(const std::byte* src) = 0;
+
+    // Derived-datatype view: send/recv `dt_count()` elements of
+    // `datatype()` rooted at `dt_buffer()`.
+    [[nodiscard]] virtual dt::TypeRef datatype() const = 0;
+    [[nodiscard]] virtual Count dt_count() const = 0;
+    [[nodiscard]] virtual const void* dt_buffer() const = 0;
+    [[nodiscard]] virtual void* dt_buffer() = 0;
+
+    // Memory regions (Listing 5 view). Kernels whose access pattern makes
+    // regions impracticable (LAMMPS, WRF — see Table I) return 0.
+    [[nodiscard]] virtual Count region_count() const { return 0; }
+    virtual void regions(IovEntry* /*out*/) {}
+};
+
+// The custom datatype driving any Kernel through the paper's API with
+// *packing*: query reports payload_bytes(), pack stages the kernel's
+// manual pack on first call and serves fragments from the stage (the
+// "full packing" strategy the paper used for DDTBench after hitting
+// coroutine vectorization issues), unpack reassembles then applies
+// manual_unpack. Buffer pointer = Kernel*.
+[[nodiscard]] const core::CustomDatatype& kernel_pack_type();
+
+// The custom datatype driving a Kernel through *memory regions*: nothing
+// packed in-band, regions straight into the grid on both sides. Only valid
+// for kernels with region_count() > 0.
+[[nodiscard]] const core::CustomDatatype& kernel_region_type();
+
+// Registry.
+[[nodiscard]] std::vector<std::string> kernel_names();
+[[nodiscard]] std::unique_ptr<Kernel> make_kernel(const std::string& name);
+
+} // namespace mpicd::ddtbench

@@ -1,0 +1,163 @@
+#include "ddtbench/kernel.hpp"
+
+#include <cstring>
+
+namespace mpicd::ddtbench {
+
+namespace {
+
+// --- kernel_pack_type callbacks ---------------------------------------------
+
+struct PackState {
+    ByteVec staged;
+    bool packed = false;
+    Count received = 0;
+};
+
+Status kp_state(void* /*context*/, const void* src, Count src_count, void** state) {
+    if (src == nullptr || src_count != 1) return Status::err_arg;
+    *state = new PackState();
+    return Status::success;
+}
+
+Status kp_state_free(void* state) {
+    delete static_cast<PackState*>(state);
+    return Status::success;
+}
+
+Status kp_query(void* /*state*/, const void* buf, Count /*count*/, Count* packed_size) {
+    *packed_size = static_cast<const Kernel*>(buf)->payload_bytes();
+    return Status::success;
+}
+
+Status kp_pack(void* state, const void* buf, Count /*count*/, Count offset, void* dst,
+               Count dst_size, Count* used) {
+    auto* st = static_cast<PackState*>(state);
+    const auto* kernel = static_cast<const Kernel*>(buf);
+    const Count total = kernel->payload_bytes();
+    if (!st->packed) {
+        st->staged.resize(static_cast<std::size_t>(total));
+        kernel->manual_pack(st->staged.data());
+        st->packed = true;
+    }
+    if (offset < 0 || offset > total) return Status::err_pack;
+    const Count n = std::min(dst_size, total - offset);
+    std::memcpy(dst, st->staged.data() + offset, static_cast<std::size_t>(n));
+    *used = n;
+    return Status::success;
+}
+
+Status kp_unpack(void* state, void* buf, Count /*count*/, Count offset, const void* src,
+                 Count src_size) {
+    auto* st = static_cast<PackState*>(state);
+    auto* kernel = static_cast<Kernel*>(buf);
+    const Count total = kernel->payload_bytes();
+    if (offset < 0 || offset + src_size > total) return Status::err_unpack;
+    if (st->staged.size() != static_cast<std::size_t>(total)) {
+        st->staged.resize(static_cast<std::size_t>(total));
+    }
+    std::memcpy(st->staged.data() + offset, src, static_cast<std::size_t>(src_size));
+    st->received += src_size;
+    if (st->received == total) kernel->manual_unpack(st->staged.data());
+    return Status::success;
+}
+
+// --- kernel_region_type callbacks -------------------------------------------
+
+Status kr_query(void* /*state*/, const void* /*buf*/, Count /*count*/,
+                Count* packed_size) {
+    *packed_size = 0;
+    return Status::success;
+}
+
+Status kr_nopack(void*, const void*, Count, Count, void*, Count, Count*) {
+    return Status::err_internal;
+}
+
+Status kr_nounpack(void*, void*, Count, Count, const void*, Count) {
+    return Status::err_internal;
+}
+
+Status kr_region_count(void* /*state*/, void* buf, Count /*count*/, Count* n) {
+    *n = static_cast<Kernel*>(buf)->region_count();
+    return *n > 0 ? Status::success : Status::err_region;
+}
+
+Status kr_region(void* /*state*/, void* buf, Count /*count*/, Count n, void* bases[],
+                 Count lens[]) {
+    auto* kernel = static_cast<Kernel*>(buf);
+    if (n != kernel->region_count()) return Status::err_region;
+    std::vector<IovEntry> entries(static_cast<std::size_t>(n));
+    kernel->regions(entries.data());
+    for (Count i = 0; i < n; ++i) {
+        bases[i] = entries[static_cast<std::size_t>(i)].base;
+        lens[i] = entries[static_cast<std::size_t>(i)].len;
+    }
+    return Status::success;
+}
+
+} // namespace
+
+const core::CustomDatatype& kernel_pack_type() {
+    static const core::CustomDatatype type = [] {
+        core::CustomCallbacks cb;
+        cb.state = kp_state;
+        cb.state_free = kp_state_free;
+        cb.query = kp_query;
+        cb.pack = kp_pack;
+        cb.unpack = kp_unpack;
+        cb.inorder = false;
+        core::CustomDatatype out;
+        (void)core::CustomDatatype::create(cb, &out);
+        return out;
+    }();
+    return type;
+}
+
+const core::CustomDatatype& kernel_region_type() {
+    static const core::CustomDatatype type = [] {
+        core::CustomCallbacks cb;
+        cb.query = kr_query;
+        cb.pack = kr_nopack;
+        cb.unpack = kr_nounpack;
+        cb.region_count = kr_region_count;
+        cb.region = kr_region;
+        cb.inorder = false;
+        core::CustomDatatype out;
+        (void)core::CustomDatatype::create(cb, &out);
+        return out;
+    }();
+    return type;
+}
+
+// Registry --------------------------------------------------------------------
+
+namespace detail {
+std::unique_ptr<Kernel> make_lammps_full();
+std::unique_ptr<Kernel> make_milc_zdown();
+std::unique_ptr<Kernel> make_nas_lu_x();
+std::unique_ptr<Kernel> make_nas_lu_y();
+std::unique_ptr<Kernel> make_nas_mg_x();
+std::unique_ptr<Kernel> make_nas_mg_y();
+std::unique_ptr<Kernel> make_wrf_x_vec();
+std::unique_ptr<Kernel> make_wrf_y_vec();
+} // namespace detail
+
+std::vector<std::string> kernel_names() {
+    return {"LAMMPS_full", "MILC_su3_zd", "NAS_LU_x", "NAS_LU_y",
+            "NAS_MG_x",    "NAS_MG_y",    "WRF_x_vec", "WRF_y_vec"};
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name) {
+    if (name == "LAMMPS_full") return detail::make_lammps_full();
+    if (name == "MILC_su3_zd") return detail::make_milc_zdown();
+    if (name == "NAS_LU_x") return detail::make_nas_lu_x();
+    if (name == "NAS_LU_y") return detail::make_nas_lu_y();
+    if (name == "NAS_MG_x") return detail::make_nas_mg_x();
+    if (name == "NAS_MG_y") return detail::make_nas_mg_y();
+    if (name == "WRF_x_vec") return detail::make_wrf_x_vec();
+    if (name == "WRF_y_vec") return detail::make_wrf_y_vec();
+    return nullptr;
+}
+
+} // namespace mpicd::ddtbench

@@ -1,0 +1,168 @@
+// LAMMPS_full: molecular-dynamics atom exchange.
+//
+// Six per-atom quantities (x[3], v[3] doubles; q double; type, mask,
+// molecule ints) live in separate arrays inside one slab; a subset of
+// atoms selected by an index list is exchanged. The manual pack is a
+// single loop touching all six arrays with non-unit stride (Table I), the
+// derived datatype is a struct of indexed(-block) types, and memory
+// regions are impracticable (3 doubles here, an int there).
+#include <cstring>
+#include <vector>
+
+#include "ddtbench/kernel.hpp"
+
+namespace mpicd::ddtbench {
+namespace detail {
+
+namespace {
+
+// Per selected atom: 3 doubles x + 3 doubles v + 1 double q + 3 ints.
+constexpr Count kAtomPayload = 3 * 8 + 3 * 8 + 8 + 3 * 4;
+
+class LammpsFull final : public Kernel {
+public:
+    LammpsFull() { resize(64 * 1024); }
+
+    TableInfo info() const override {
+        return {"LAMMPS_full", "indexed, struct",
+                "single loop, 6 arrays (non-unit stride)", false};
+    }
+
+    void resize(Count target_bytes) override {
+        icount_ = std::max<Count>(1, target_bytes / kAtomPayload);
+        natoms_ = icount_ * 2;
+        x_.assign(static_cast<std::size_t>(3 * natoms_), 0.0);
+        v_.assign(static_cast<std::size_t>(3 * natoms_), 0.0);
+        q_.assign(static_cast<std::size_t>(natoms_), 0.0);
+        type_.assign(static_cast<std::size_t>(natoms_), 0);
+        mask_.assign(static_cast<std::size_t>(natoms_), 0);
+        molecule_.assign(static_cast<std::size_t>(natoms_), 0);
+        // Every other atom, a non-unit-stride gather.
+        idx_.resize(static_cast<std::size_t>(icount_));
+        for (Count i = 0; i < icount_; ++i) idx_[static_cast<std::size_t>(i)] = 2 * i;
+        type_cache_.reset();
+    }
+
+    Count payload_bytes() const override { return icount_ * kAtomPayload; }
+
+    void fill(unsigned seed) override {
+        for (Count a = 0; a < natoms_; ++a) {
+            const auto i = static_cast<std::size_t>(a);
+            for (int d = 0; d < 3; ++d) {
+                x_[i * 3 + d] = 0.5 * static_cast<double>(a * 3 + d) + seed;
+                v_[i * 3 + d] = -0.25 * static_cast<double>(a * 3 + d) - seed;
+            }
+            q_[i] = 0.125 * static_cast<double>(a) + seed;
+            type_[i] = static_cast<std::int32_t>(a % 7 + seed);
+            mask_[i] = static_cast<std::int32_t>(a % 3);
+            molecule_[i] = static_cast<std::int32_t>(a / 4);
+        }
+    }
+
+    void clear() override {
+        std::fill(x_.begin(), x_.end(), 0.0);
+        std::fill(v_.begin(), v_.end(), 0.0);
+        std::fill(q_.begin(), q_.end(), 0.0);
+        std::fill(type_.begin(), type_.end(), 0);
+        std::fill(mask_.begin(), mask_.end(), 0);
+        std::fill(molecule_.begin(), molecule_.end(), 0);
+    }
+
+    bool verify(const Kernel& sent_base) const override {
+        const auto& sent = dynamic_cast<const LammpsFull&>(sent_base);
+        if (sent.icount_ != icount_) return false;
+        for (const Count a : idx_) {
+            const auto i = static_cast<std::size_t>(a);
+            for (int d = 0; d < 3; ++d) {
+                if (x_[i * 3 + d] != sent.x_[i * 3 + d]) return false;
+                if (v_[i * 3 + d] != sent.v_[i * 3 + d]) return false;
+            }
+            if (q_[i] != sent.q_[i] || type_[i] != sent.type_[i] ||
+                mask_[i] != sent.mask_[i] || molecule_[i] != sent.molecule_[i])
+                return false;
+        }
+        return true;
+    }
+
+    // Single loop over the index list, gathering from six arrays — the
+    // LAMMPS pack_exchange pattern.
+    void manual_pack(std::byte* dst) const override {
+        for (Count n = 0; n < icount_; ++n) {
+            const auto i = static_cast<std::size_t>(idx_[static_cast<std::size_t>(n)]);
+            std::memcpy(dst, &x_[i * 3], 24);
+            std::memcpy(dst + 24, &v_[i * 3], 24);
+            std::memcpy(dst + 48, &q_[i], 8);
+            std::memcpy(dst + 56, &type_[i], 4);
+            std::memcpy(dst + 60, &mask_[i], 4);
+            std::memcpy(dst + 64, &molecule_[i], 4);
+            dst += kAtomPayload;
+        }
+    }
+
+    void manual_unpack(const std::byte* src) override {
+        for (Count n = 0; n < icount_; ++n) {
+            const auto i = static_cast<std::size_t>(idx_[static_cast<std::size_t>(n)]);
+            std::memcpy(&x_[i * 3], src, 24);
+            std::memcpy(&v_[i * 3], src + 24, 24);
+            std::memcpy(&q_[i], src + 48, 8);
+            std::memcpy(&type_[i], src + 56, 4);
+            std::memcpy(&mask_[i], src + 60, 4);
+            std::memcpy(&molecule_[i], src + 64, 4);
+            src += kAtomPayload;
+        }
+    }
+
+    // Struct of indexed types over the six arrays, rooted at x_ (absolute
+    // byte displacements to the other arrays, MPI_BOTTOM style).
+    dt::TypeRef datatype() const override {
+        if (type_cache_ == nullptr) type_cache_ = build_datatype();
+        return type_cache_;
+    }
+    Count dt_count() const override { return 1; }
+    const void* dt_buffer() const override { return x_.data(); }
+    void* dt_buffer() override { return x_.data(); }
+
+private:
+    dt::TypeRef build_datatype() const {
+        // Indexed selections, one per array.
+        std::vector<Count> xdispls(static_cast<std::size_t>(icount_));
+        std::vector<Count> adispls(static_cast<std::size_t>(icount_));
+        for (Count i = 0; i < icount_; ++i) {
+            xdispls[static_cast<std::size_t>(i)] = 3 * idx_[static_cast<std::size_t>(i)];
+            adispls[static_cast<std::size_t>(i)] = idx_[static_cast<std::size_t>(i)];
+        }
+        const auto vec3 = dt::Datatype::indexed_block(3, xdispls, dt::type_double());
+        const auto scal_d = dt::Datatype::indexed_block(1, adispls, dt::type_double());
+        const auto scal_i = dt::Datatype::indexed_block(1, adispls, dt::type_int32());
+
+        const auto byte_off = [&](const void* p) {
+            return static_cast<Count>(reinterpret_cast<const std::byte*>(p) -
+                                      reinterpret_cast<const std::byte*>(x_.data()));
+        };
+        const Count blocklens[] = {1, 1, 1, 1, 1, 1};
+        const Count displs[] = {0,
+                                byte_off(v_.data()),
+                                byte_off(q_.data()),
+                                byte_off(type_.data()),
+                                byte_off(mask_.data()),
+                                byte_off(molecule_.data())};
+        const dt::TypeRef types[] = {vec3, vec3, scal_d, scal_i, scal_i, scal_i};
+        auto t = dt::Datatype::struct_(blocklens, displs, types);
+        (void)t->commit();
+        return t;
+    }
+
+    Count natoms_ = 0;
+    Count icount_ = 0;
+    std::vector<Count> idx_;
+    std::vector<double> x_, v_, q_;
+    std::vector<std::int32_t> type_, mask_, molecule_;
+    mutable dt::TypeRef type_cache_;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel> make_lammps_full() { return std::make_unique<LammpsFull>(); }
+
+} // namespace detail
+} // namespace mpicd::ddtbench

@@ -1,0 +1,141 @@
+// MILC su3_zdown: lattice-QCD face exchange.
+//
+// A 4D lattice of su3 vectors (3 complex doubles = 6 doubles per site),
+// site index ((t*Z + z)*Y + y)*X + x with x fastest. The exchanged face
+// fixes the y coordinate, so the face decomposes into T*Z contiguous runs
+// of X sites — a strided vector datatype, a 5-deep manual pack loop nest
+// (t, z, x, color, re/im), and a modest number of sizeable memory regions
+// (the case where the paper finds regions beat packing).
+#include <cstring>
+#include <vector>
+
+#include "ddtbench/kernel.hpp"
+
+namespace mpicd::ddtbench {
+namespace detail {
+
+namespace {
+
+constexpr Count kSu3Doubles = 6; // 3 colors x (re, im)
+
+class MilcZdown final : public Kernel {
+public:
+    MilcZdown() { resize(64 * 1024); }
+
+    TableInfo info() const override {
+        return {"MILC_su3_zd", "strided vector", "5 nested loops (non-unit stride)",
+                true};
+    }
+
+    void resize(Count target_bytes) override {
+        X_ = 16;
+        Y_ = 4;
+        Z_ = 8;
+        const Count run_bytes = X_ * kSu3Doubles * 8;
+        T_ = std::max<Count>(1, target_bytes / (Z_ * run_bytes));
+        slab_.assign(static_cast<std::size_t>(T_ * Z_ * Y_ * X_ * kSu3Doubles), 0.0);
+        y0_ = Y_ / 2;
+        type_cache_.reset();
+    }
+
+    Count payload_bytes() const override { return T_ * Z_ * X_ * kSu3Doubles * 8; }
+
+    void fill(unsigned seed) override {
+        for (std::size_t i = 0; i < slab_.size(); ++i)
+            slab_[i] = static_cast<double>(i % 8191) * 0.5 + seed;
+    }
+    void clear() override { std::fill(slab_.begin(), slab_.end(), 0.0); }
+
+    bool verify(const Kernel& sent_base) const override {
+        const auto& sent = dynamic_cast<const MilcZdown&>(sent_base);
+        if (sent.T_ != T_ || sent.Z_ != Z_) return false;
+        for (Count t = 0; t < T_; ++t) {
+            for (Count z = 0; z < Z_; ++z) {
+                const std::size_t off = run_offset(t, z);
+                if (std::memcmp(&slab_[off], &sent.slab_[off],
+                                static_cast<std::size_t>(X_ * kSu3Doubles * 8)) != 0)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    // 5-deep loop nest: t, z, x, color, re/im.
+    void manual_pack(std::byte* dst) const override {
+        auto* out = reinterpret_cast<double*>(dst);
+        std::size_t pos = 0;
+        for (Count t = 0; t < T_; ++t) {
+            for (Count z = 0; z < Z_; ++z) {
+                const std::size_t off = run_offset(t, z);
+                for (Count x = 0; x < X_; ++x) {
+                    const std::size_t site = off + static_cast<std::size_t>(x * kSu3Doubles);
+                    for (int c = 0; c < 3; ++c) {
+                        for (int ri = 0; ri < 2; ++ri) {
+                            out[pos++] = slab_[site + static_cast<std::size_t>(c * 2 + ri)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    void manual_unpack(const std::byte* src) override {
+        const auto* in = reinterpret_cast<const double*>(src);
+        std::size_t pos = 0;
+        for (Count t = 0; t < T_; ++t) {
+            for (Count z = 0; z < Z_; ++z) {
+                const std::size_t off = run_offset(t, z);
+                for (Count x = 0; x < X_; ++x) {
+                    const std::size_t site = off + static_cast<std::size_t>(x * kSu3Doubles);
+                    for (int c = 0; c < 3; ++c) {
+                        for (int ri = 0; ri < 2; ++ri) {
+                            slab_[site + static_cast<std::size_t>(c * 2 + ri)] = in[pos++];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    dt::TypeRef datatype() const override {
+        if (type_cache_ == nullptr) {
+            // One run per (t, z): X sites of 6 doubles; stride Y*X sites.
+            auto t = dt::Datatype::vector(T_ * Z_, X_ * kSu3Doubles,
+                                          Y_ * X_ * kSu3Doubles, dt::type_double());
+            (void)t->commit();
+            type_cache_ = t;
+        }
+        return type_cache_;
+    }
+    Count dt_count() const override { return 1; }
+    const void* dt_buffer() const override { return slab_.data() + run_offset(0, 0); }
+    void* dt_buffer() override { return slab_.data() + run_offset(0, 0); }
+
+    Count region_count() const override { return T_ * Z_; }
+    void regions(IovEntry* out) override {
+        Count k = 0;
+        for (Count t = 0; t < T_; ++t) {
+            for (Count z = 0; z < Z_; ++z) {
+                out[k].base = slab_.data() + run_offset(t, z);
+                out[k].len = X_ * kSu3Doubles * 8;
+                ++k;
+            }
+        }
+    }
+
+private:
+    [[nodiscard]] std::size_t run_offset(Count t, Count z) const {
+        return static_cast<std::size_t>((((t * Z_ + z) * Y_ + y0_) * X_) * kSu3Doubles);
+    }
+
+    Count T_ = 0, Z_ = 0, Y_ = 0, X_ = 0, y0_ = 0;
+    std::vector<double> slab_;
+    mutable dt::TypeRef type_cache_;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel> make_milc_zdown() { return std::make_unique<MilcZdown>(); }
+
+} // namespace detail
+} // namespace mpicd::ddtbench

@@ -1,0 +1,178 @@
+// NAS LU and MG face exchanges.
+//
+//   NAS_LU_x: rsd(5, nx, ny) x-direction face — a fully contiguous run
+//             (one region; packing is a straight memcpy).
+//   NAS_LU_y: y-direction face — ny blocks of 5 doubles with stride nx*5
+//             (many tiny regions: the case where the paper finds the UCX
+//             scatter-gather path loses to packing).
+//   NAS_MG_x: u(nx, ny, nz) x-face — nz*ny single doubles with stride nx
+//             (the most fragmented pattern in the set).
+//   NAS_MG_y: y-face — nz rows of nx contiguous doubles with stride nx*ny
+//             (few large regions; regions win).
+#include <cstring>
+#include <vector>
+
+#include "ddtbench/kernel.hpp"
+
+namespace mpicd::ddtbench {
+namespace detail {
+
+namespace {
+
+// Shared base for the four grid kernels: a double slab with a face
+// described by (count, blocklen, stride) in doubles from a face offset.
+class StridedFaceKernel : public Kernel {
+public:
+    Count payload_bytes() const override { return count_ * blocklen_ * 8; }
+
+    void fill(unsigned seed) override {
+        for (std::size_t i = 0; i < slab_.size(); ++i)
+            slab_[i] = static_cast<double>(i % 16381) * 0.25 + seed;
+    }
+    void clear() override { std::fill(slab_.begin(), slab_.end(), 0.0); }
+
+    bool verify(const Kernel& sent_base) const override {
+        const auto& sent = dynamic_cast<const StridedFaceKernel&>(sent_base);
+        if (sent.count_ != count_ || sent.blocklen_ != blocklen_) return false;
+        for (Count b = 0; b < count_; ++b) {
+            const std::size_t off = block_offset(b);
+            if (std::memcmp(&slab_[off], &sent.slab_[off],
+                            static_cast<std::size_t>(blocklen_ * 8)) != 0)
+                return false;
+        }
+        return true;
+    }
+
+    // Two nested loops: blocks, then elements within the block.
+    void manual_pack(std::byte* dst) const override {
+        auto* out = reinterpret_cast<double*>(dst);
+        std::size_t pos = 0;
+        for (Count b = 0; b < count_; ++b) {
+            const std::size_t off = block_offset(b);
+            for (Count e = 0; e < blocklen_; ++e)
+                out[pos++] = slab_[off + static_cast<std::size_t>(e)];
+        }
+    }
+    void manual_unpack(const std::byte* src) override {
+        const auto* in = reinterpret_cast<const double*>(src);
+        std::size_t pos = 0;
+        for (Count b = 0; b < count_; ++b) {
+            const std::size_t off = block_offset(b);
+            for (Count e = 0; e < blocklen_; ++e)
+                slab_[off + static_cast<std::size_t>(e)] = in[pos++];
+        }
+    }
+
+    dt::TypeRef datatype() const override {
+        if (type_cache_ == nullptr) {
+            auto t = dt::Datatype::vector(count_, blocklen_, stride_, dt::type_double());
+            (void)t->commit();
+            type_cache_ = t;
+        }
+        return type_cache_;
+    }
+    Count dt_count() const override { return 1; }
+    const void* dt_buffer() const override { return slab_.data() + face_off_; }
+    void* dt_buffer() override { return slab_.data() + face_off_; }
+
+    Count region_count() const override { return count_; }
+    void regions(IovEntry* out) override {
+        for (Count b = 0; b < count_; ++b) {
+            out[b].base = slab_.data() + block_offset(b);
+            out[b].len = blocklen_ * 8;
+        }
+    }
+
+protected:
+    void configure(Count slab_doubles, Count face_off, Count count, Count blocklen,
+                   Count stride) {
+        slab_.assign(static_cast<std::size_t>(slab_doubles), 0.0);
+        face_off_ = face_off;
+        count_ = count;
+        blocklen_ = blocklen;
+        stride_ = stride;
+        type_cache_.reset();
+    }
+
+    [[nodiscard]] std::size_t block_offset(Count b) const {
+        return static_cast<std::size_t>(face_off_ + b * stride_);
+    }
+
+    Count face_off_ = 0, count_ = 0, blocklen_ = 0, stride_ = 0;
+    std::vector<double> slab_;
+    mutable dt::TypeRef type_cache_;
+};
+
+class NasLuX final : public StridedFaceKernel {
+public:
+    NasLuX() { resize(64 * 1024); }
+    TableInfo info() const override {
+        return {"NAS_LU_x", "contiguous", "2 nested loops", true};
+    }
+    void resize(Count target_bytes) override {
+        const Count nx = std::max<Count>(1, target_bytes / (5 * 8));
+        const Count ny = 3;
+        const Count j0 = 1;
+        // rsd[ny][nx][5]: face row j0 is one contiguous run of nx*5.
+        configure(ny * nx * 5, j0 * nx * 5, /*count=*/1, /*blocklen=*/nx * 5,
+                  /*stride=*/nx * 5);
+    }
+};
+
+class NasLuY final : public StridedFaceKernel {
+public:
+    NasLuY() { resize(64 * 1024); }
+    TableInfo info() const override {
+        return {"NAS_LU_y", "strided vector", "2 nested loops (non-contiguous)", true};
+    }
+    void resize(Count target_bytes) override {
+        const Count nx = 64;
+        const Count ny = std::max<Count>(1, target_bytes / (5 * 8));
+        const Count i0 = nx / 2;
+        // rsd[ny][nx][5]: column i0 — ny blocks of 5 doubles, stride nx*5.
+        configure(ny * nx * 5, i0 * 5, /*count=*/ny, /*blocklen=*/5,
+                  /*stride=*/nx * 5);
+    }
+};
+
+class NasMgX final : public StridedFaceKernel {
+public:
+    NasMgX() { resize(64 * 1024); }
+    TableInfo info() const override {
+        return {"NAS_MG_x", "strided vector", "2 nested loops (non-contiguous)", true};
+    }
+    void resize(Count target_bytes) override {
+        const Count nx = 64, ny = 64;
+        const Count nz = std::max<Count>(1, target_bytes / (8 * ny));
+        const Count i0 = nx / 2;
+        // u[nz][ny][nx]: x-face — nz*ny single doubles with stride nx.
+        configure(nz * ny * nx, i0, /*count=*/nz * ny, /*blocklen=*/1,
+                  /*stride=*/nx);
+    }
+};
+
+class NasMgY final : public StridedFaceKernel {
+public:
+    NasMgY() { resize(64 * 1024); }
+    TableInfo info() const override {
+        return {"NAS_MG_y", "strided vector", "2 nested loops (non-contiguous)", true};
+    }
+    void resize(Count target_bytes) override {
+        const Count nx = 256, ny = 8;
+        const Count nz = std::max<Count>(1, target_bytes / (8 * nx));
+        const Count j0 = ny / 2;
+        // u[nz][ny][nx]: y-face — nz rows of nx doubles, stride nx*ny.
+        configure(nz * ny * nx, j0 * nx, /*count=*/nz, /*blocklen=*/nx,
+                  /*stride=*/nx * ny);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Kernel> make_nas_lu_x() { return std::make_unique<NasLuX>(); }
+std::unique_ptr<Kernel> make_nas_lu_y() { return std::make_unique<NasLuY>(); }
+std::unique_ptr<Kernel> make_nas_mg_x() { return std::make_unique<NasMgX>(); }
+std::unique_ptr<Kernel> make_nas_mg_y() { return std::make_unique<NasMgY>(); }
+
+} // namespace detail
+} // namespace mpicd::ddtbench

@@ -1,0 +1,185 @@
+// WRF halo exchanges (x_vec / y_vec): a struct of strided vectors.
+//
+// Three atmosphere fields share one halo message: two 3D arrays
+// A1[km][jm][im], A2[km][jm][im] and one 4D array B[2][km][jm][im].
+// The x-direction halo selects a width-w slab in the innermost dimension
+// (3/4-deep loop nests of tiny non-contiguous blocks); the y-direction
+// halo selects width-w in the middle dimension (larger contiguous rows).
+// Either way the block structure is too fine/heterogeneous for memory
+// regions to be practical, matching Table I.
+#include <cstring>
+#include <vector>
+
+#include "ddtbench/kernel.hpp"
+
+namespace mpicd::ddtbench {
+namespace detail {
+
+namespace {
+
+enum class WrfDir { x, y };
+
+class Wrf final : public Kernel {
+public:
+    explicit Wrf(WrfDir dir) : dir_(dir) { resize(64 * 1024); }
+
+    TableInfo info() const override {
+        return {dir_ == WrfDir::x ? "WRF_x_vec" : "WRF_y_vec",
+                "struct of strided vectors", "3/4/5 nested loops (non-contiguous)",
+                false};
+    }
+
+    void resize(Count target_bytes) override {
+        im_ = 32;
+        jm_ = 16;
+        w_ = 2;
+        // Payload per km level: x: 4 arrays' worth of jm*w doubles;
+        //                       y: 4 arrays' worth of w*im doubles.
+        const Count per_km = dir_ == WrfDir::x ? 4 * jm_ * w_ * 8 : 4 * w_ * im_ * 8;
+        km_ = std::max<Count>(1, target_bytes / per_km);
+        const Count arr3 = km_ * jm_ * im_;
+        a1_.assign(static_cast<std::size_t>(arr3), 0.0);
+        a2_.assign(static_cast<std::size_t>(arr3), 0.0);
+        b_.assign(static_cast<std::size_t>(2 * arr3), 0.0);
+        i0_ = im_ / 2 - w_ / 2;
+        j0_ = jm_ / 2 - w_ / 2;
+        type_cache_.reset();
+    }
+
+    Count payload_bytes() const override {
+        return dir_ == WrfDir::x ? 4 * km_ * jm_ * w_ * 8 : 4 * km_ * w_ * im_ * 8;
+    }
+
+    void fill(unsigned seed) override {
+        fill_arr(a1_, seed + 1);
+        fill_arr(a2_, seed + 2);
+        fill_arr(b_, seed + 3);
+    }
+    void clear() override {
+        std::fill(a1_.begin(), a1_.end(), 0.0);
+        std::fill(a2_.begin(), a2_.end(), 0.0);
+        std::fill(b_.begin(), b_.end(), 0.0);
+    }
+
+    bool verify(const Kernel& sent_base) const override {
+        const auto& sent = dynamic_cast<const Wrf&>(sent_base);
+        if (sent.km_ != km_ || sent.dir_ != dir_) return false;
+        ByteVec mine(static_cast<std::size_t>(payload_bytes()));
+        ByteVec theirs(static_cast<std::size_t>(payload_bytes()));
+        manual_pack(mine.data());
+        sent.manual_pack(theirs.data());
+        return mine == theirs;
+    }
+
+    void manual_pack(std::byte* dst) const override {
+        auto* out = reinterpret_cast<double*>(dst);
+        std::size_t pos = 0;
+        pack_arr(a1_.data(), 1, out, pos);
+        pack_arr(a2_.data(), 1, out, pos);
+        pack_arr(b_.data(), 2, out, pos); // extra m loop: the 4/5-deep nest
+    }
+    void manual_unpack(const std::byte* src) override {
+        const auto* in = reinterpret_cast<const double*>(src);
+        std::size_t pos = 0;
+        unpack_arr(a1_.data(), 1, in, pos);
+        unpack_arr(a2_.data(), 1, in, pos);
+        unpack_arr(b_.data(), 2, in, pos);
+    }
+
+    dt::TypeRef datatype() const override {
+        if (type_cache_ == nullptr) type_cache_ = build_datatype();
+        return type_cache_;
+    }
+    Count dt_count() const override { return 1; }
+    const void* dt_buffer() const override { return a1_.data(); }
+    void* dt_buffer() override { return a1_.data(); }
+
+private:
+    void fill_arr(std::vector<double>& a, unsigned seed) {
+        for (std::size_t i = 0; i < a.size(); ++i)
+            a[i] = static_cast<double>(i % 32749) * 0.125 + seed;
+    }
+
+    // Loop nest per array: (m,) k, j, i over the halo slab.
+    void pack_arr(const double* a, Count mdim, double* out, std::size_t& pos) const {
+        const Count plane = jm_ * im_;
+        for (Count m = 0; m < mdim; ++m) {
+            for (Count k = 0; k < km_; ++k) {
+                const Count base = (m * km_ + k) * plane;
+                if (dir_ == WrfDir::x) {
+                    for (Count j = 0; j < jm_; ++j)
+                        for (Count i = 0; i < w_; ++i)
+                            out[pos++] =
+                                a[static_cast<std::size_t>(base + j * im_ + i0_ + i)];
+                } else {
+                    for (Count j = 0; j < w_; ++j)
+                        for (Count i = 0; i < im_; ++i)
+                            out[pos++] =
+                                a[static_cast<std::size_t>(base + (j0_ + j) * im_ + i)];
+                }
+            }
+        }
+    }
+    void unpack_arr(double* a, Count mdim, const double* in, std::size_t& pos) {
+        const Count plane = jm_ * im_;
+        for (Count m = 0; m < mdim; ++m) {
+            for (Count k = 0; k < km_; ++k) {
+                const Count base = (m * km_ + k) * plane;
+                if (dir_ == WrfDir::x) {
+                    for (Count j = 0; j < jm_; ++j)
+                        for (Count i = 0; i < w_; ++i)
+                            a[static_cast<std::size_t>(base + j * im_ + i0_ + i)] =
+                                in[pos++];
+                } else {
+                    for (Count j = 0; j < w_; ++j)
+                        for (Count i = 0; i < im_; ++i)
+                            a[static_cast<std::size_t>(base + (j0_ + j) * im_ + i)] =
+                                in[pos++];
+                }
+            }
+        }
+    }
+
+    dt::TypeRef build_datatype() const {
+        // Per 3D array: the x halo is km*jm blocks of w doubles with stride
+        // im; the y halo is km blocks of w*im doubles with stride jm*im.
+        dt::TypeRef halo3;
+        if (dir_ == WrfDir::x) {
+            halo3 = dt::Datatype::vector(km_ * jm_, w_, im_, dt::type_double());
+        } else {
+            halo3 = dt::Datatype::vector(km_, w_ * im_, jm_ * im_, dt::type_double());
+        }
+        // The 4D array is two consecutive 3D arrays.
+        const auto halo4 = dt::Datatype::hvector(2, 1, km_ * jm_ * im_ * 8, halo3);
+
+        const auto byte_off = [&](const void* p) {
+            return static_cast<Count>(reinterpret_cast<const std::byte*>(p) -
+                                      reinterpret_cast<const std::byte*>(a1_.data()));
+        };
+        const Count halo_disp = (dir_ == WrfDir::x ? i0_ : j0_ * im_) * 8;
+        const Count blocklens[] = {1, 1, 1};
+        const Count displs[] = {halo_disp, byte_off(a2_.data()) + halo_disp,
+                                byte_off(b_.data()) + halo_disp};
+        const dt::TypeRef types[] = {halo3, halo3, halo4};
+        auto t = dt::Datatype::struct_(blocklens, displs, types);
+        (void)t->commit();
+        return t;
+    }
+
+    WrfDir dir_;
+    Count im_ = 0, jm_ = 0, km_ = 0, w_ = 0, i0_ = 0, j0_ = 0;
+    std::vector<double> a1_, a2_, b_;
+    mutable dt::TypeRef type_cache_;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel> make_wrf_x_vec() {
+    return std::make_unique<Wrf>(WrfDir::x);
+}
+std::unique_ptr<Kernel> make_wrf_y_vec() {
+    return std::make_unique<Wrf>(WrfDir::y);
+}
+
+} // namespace detail
+} // namespace mpicd::ddtbench

@@ -1,0 +1,108 @@
+#include "dt/convertor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mpicd::dt {
+
+Convertor::Convertor(TypeRef type, void* buf, Count count)
+    : type_(std::move(type)), buf_(static_cast<std::byte*>(buf)), count_(count) {
+    assert(type_ != nullptr && type_->committed());
+    assert(count_ >= 0);
+    total_ = type_->size() * count_;
+}
+
+void Convertor::locate(Count packed_offset, Count* elem, std::size_t* seg,
+                       Count* into) const {
+    const Count elem_size = type_->size();
+    if (elem_size == 0) {
+        *elem = 0;
+        *seg = 0;
+        *into = 0;
+        return;
+    }
+    *elem = packed_offset / elem_size;
+    const Count rem = packed_offset % elem_size;
+    const auto& prefix = type_->packed_prefix();
+    // prefix is sorted; find the segment containing rem.
+    const auto it = std::upper_bound(prefix.begin(), prefix.end(), rem);
+    const std::size_t s = static_cast<std::size_t>(it - prefix.begin()) - 1;
+    *seg = s;
+    *into = rem - prefix[s];
+}
+
+void Convertor::seek(Count packed_offset) {
+    pos_ = std::clamp<Count>(packed_offset, 0, total_);
+    locate(pos_, &elem_, &seg_, &seg_into_);
+}
+
+Status Convertor::pack(MutBytes dst, Count* used) {
+    const auto& segs = type_->segments();
+    const Count extent = type_->extent();
+    Count produced = 0;
+    Count want = std::min(static_cast<Count>(dst.size()), total_ - pos_);
+    while (want > 0) {
+        const Segment& s = segs[seg_];
+        const Count n = std::min(s.len - seg_into_, want);
+        const std::byte* src = buf_ + elem_ * extent + s.offset + seg_into_;
+        std::memcpy(dst.data() + produced, src, static_cast<std::size_t>(n));
+        produced += n;
+        want -= n;
+        pos_ += n;
+        seg_into_ += n;
+        if (seg_into_ == s.len) {
+            seg_into_ = 0;
+            if (++seg_ == segs.size()) {
+                seg_ = 0;
+                ++elem_;
+            }
+        }
+    }
+    *used = produced;
+    return Status::success;
+}
+
+Status Convertor::unpack(ConstBytes src) {
+    const auto& segs = type_->segments();
+    const Count extent = type_->extent();
+    Count consumed = 0;
+    Count have = static_cast<Count>(src.size());
+    if (have > total_ - pos_) return Status::err_truncate;
+    while (have > 0) {
+        const Segment& s = segs[seg_];
+        const Count n = std::min(s.len - seg_into_, have);
+        std::byte* dst = buf_ + elem_ * extent + s.offset + seg_into_;
+        std::memcpy(dst, src.data() + consumed, static_cast<std::size_t>(n));
+        consumed += n;
+        have -= n;
+        pos_ += n;
+        seg_into_ += n;
+        if (seg_into_ == s.len) {
+            seg_into_ = 0;
+            if (++seg_ == segs.size()) {
+                seg_ = 0;
+                ++elem_;
+            }
+        }
+    }
+    return Status::success;
+}
+
+Status Convertor::pack_all(const TypeRef& type, const void* buf, Count count,
+                           MutBytes dst, Count* used) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    Convertor cv(type, const_cast<void*>(buf), count);
+    if (static_cast<Count>(dst.size()) < cv.total_packed()) return Status::err_truncate;
+    return cv.pack(dst, used);
+}
+
+Status Convertor::unpack_all(const TypeRef& type, void* buf, Count count,
+                             ConstBytes src) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    Convertor cv(type, buf, count);
+    if (static_cast<Count>(src.size()) != cv.total_packed()) return Status::err_count;
+    return cv.unpack(src);
+}
+
+} // namespace mpicd::dt

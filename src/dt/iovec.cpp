@@ -1,0 +1,58 @@
+#include "dt/iovec.hpp"
+
+namespace mpicd::dt {
+
+namespace {
+
+template <typename Entry, typename Ptr>
+Status extract_impl(const TypeRef& type, Ptr buf, Count count,
+                    std::vector<Entry>& out) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    if (count < 0) return Status::err_count;
+    auto* base = reinterpret_cast<std::conditional_t<
+        std::is_const_v<std::remove_pointer_t<Ptr>>, const std::byte*, std::byte*>>(buf);
+    const Count extent = type->extent();
+    const auto& segs = type->segments();
+    for (Count i = 0; i < count; ++i) {
+        for (const auto& s : segs) {
+            auto* p = base + i * extent + s.offset;
+            if (!out.empty()) {
+                auto* prev_end =
+                    static_cast<decltype(p)>(out.back().base) + out.back().len;
+                if (prev_end == p) {
+                    out.back().len += s.len;
+                    continue;
+                }
+            }
+            out.push_back({p, s.len});
+        }
+    }
+    return Status::success;
+}
+
+} // namespace
+
+Status extract_regions(const TypeRef& type, const void* buf, Count count,
+                       std::vector<ConstIovEntry>& out) {
+    return extract_impl(type, static_cast<const std::byte*>(buf), count, out);
+}
+
+Status extract_regions(const TypeRef& type, void* buf, Count count,
+                       std::vector<IovEntry>& out) {
+    return extract_impl(type, static_cast<std::byte*>(buf), count, out);
+}
+
+Count region_count(const TypeRef& type, Count count) {
+    if (type == nullptr || !type->committed() || count <= 0) return 0;
+    const auto& segs = type->segments();
+    if (segs.empty()) return 0;
+    // Elements merge across the boundary when the last segment of element i
+    // ends exactly where the first segment of element i+1 begins.
+    const bool merge_across =
+        segs.back().offset + segs.back().len == type->extent() + segs.front().offset;
+    const Count per_elem = static_cast<Count>(segs.size());
+    if (merge_across) return per_elem * count - (count - 1);
+    return per_elem * count;
+}
+
+} // namespace mpicd::dt

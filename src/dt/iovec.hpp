@@ -1,0 +1,28 @@
+// Region (iovec) extraction from derived datatypes: flattening a (buffer,
+// type, count) triple into a list of contiguous memory regions. This is the
+// direction MPICH's recent iovec extensions take (paper §VII) and it also
+// powers the zero-copy send path for derived datatypes whose region count
+// is small.
+#pragma once
+
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/status.hpp"
+#include "dt/datatype.hpp"
+
+namespace mpicd::dt {
+
+// Append the regions of `count` elements of `type` rooted at `buf`.
+// Adjacent regions (end-to-end in memory AND consecutive in pack order)
+// are merged, so a contiguous type yields exactly one region.
+[[nodiscard]] Status extract_regions(const TypeRef& type, const void* buf, Count count,
+                                     std::vector<ConstIovEntry>& out);
+
+[[nodiscard]] Status extract_regions(const TypeRef& type, void* buf, Count count,
+                                     std::vector<IovEntry>& out);
+
+// Number of regions that extraction would produce (without materializing).
+[[nodiscard]] Count region_count(const TypeRef& type, Count count);
+
+} // namespace mpicd::dt

@@ -1,0 +1,90 @@
+#include "netsim/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mpicd::netsim {
+
+Fabric::Fabric(int num_endpoints, WireParams params)
+    : params_(params),
+      inboxes_(static_cast<std::size_t>(num_endpoints)),
+      link_free_at_(static_cast<std::size_t>(num_endpoints) *
+                        static_cast<std::size_t>(num_endpoints) *
+                        static_cast<std::size_t>(std::max(1, params.rails)),
+                    0.0) {
+    assert(num_endpoints > 0);
+}
+
+SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
+                         Count sg_entries, int rail) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& free_at = link_free_at_[link_index(pkt.src, pkt.dst, rail)];
+    const SimTime start = std::max(ready + params_.sg_overhead(sg_entries), free_at);
+    const SimTime end = start + params_.serialize_time(wire_bytes);
+    free_at = end;
+    pkt.arrival = end + params_.latency_us;
+    pkt.seq = next_seq_++;
+    const SimTime arrival = pkt.arrival;
+    inboxes_[static_cast<std::size_t>(pkt.dst)].q.push_back(std::move(pkt));
+    lock.unlock();
+    cv_.notify_all();
+    return arrival;
+}
+
+SimTime Fabric::transmit_control(Packet&& pkt, SimTime ready) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    pkt.arrival = ready + params_.latency_us;
+    pkt.seq = next_seq_++;
+    const SimTime arrival = pkt.arrival;
+    inboxes_[static_cast<std::size_t>(pkt.dst)].q.push_back(std::move(pkt));
+    lock.unlock();
+    cv_.notify_all();
+    return arrival;
+}
+
+std::optional<Packet> Fabric::poll(int ep) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& inbox = inboxes_[static_cast<std::size_t>(ep)];
+    if (inbox.q.empty()) return std::nullopt;
+    Packet pkt = std::move(inbox.q.front());
+    inbox.q.pop_front();
+    return pkt;
+}
+
+Packet Fabric::poll_blocking(int ep) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& inbox = inboxes_[static_cast<std::size_t>(ep)];
+    cv_.wait(lock, [&] { return !inbox.q.empty(); });
+    Packet pkt = std::move(inbox.q.front());
+    inbox.q.pop_front();
+    return pkt;
+}
+
+bool Fabric::inbox_empty(int ep) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inboxes_[static_cast<std::size_t>(ep)].q.empty();
+}
+
+SimTime Fabric::rdma_write(int src_ep, int dst_ep, const void* src, void* dst,
+                           Count bytes, SimTime ready) {
+    std::memcpy(dst, src, static_cast<std::size_t>(bytes));
+    return rdma_cost(src_ep, dst_ep, bytes, 1, ready);
+}
+
+SimTime Fabric::rdma_cost(int src_ep, int dst_ep, Count bytes, Count sg_entries,
+                          SimTime ready, int rail) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& free_at = link_free_at_[link_index(src_ep, dst_ep, rail)];
+    const SimTime start = std::max(ready + params_.sg_overhead(sg_entries), free_at);
+    const SimTime end = start + params_.serialize_time(bytes);
+    free_at = end;
+    return end + params_.latency_us;
+}
+
+void Fabric::reset_time() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& t : link_free_at_) t = 0.0;
+}
+
+} // namespace mpicd::netsim

@@ -1,0 +1,118 @@
+// Simulated network fabric.
+//
+// The fabric connects a fixed number of endpoints (one per simulated rank)
+// with reliable, per-link FIFO delivery of packets. Time is *virtual*
+// (microseconds, see base/time.hpp): each endpoint carries a VirtualClock,
+// and the fabric models link serialization — a packet occupies its
+// source->destination link for bytes/bandwidth microseconds, so
+// back-to-back fragments queue behind each other exactly as on a real wire.
+//
+// The fabric moves raw packets only; protocols (eager, rendezvous, tag
+// matching, datatype handling) live in src/ucx on top of this layer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/time.hpp"
+#include "netsim/wire_model.hpp"
+
+namespace mpicd::netsim {
+
+// Per-endpoint virtual clock. Receiving a packet advances the local clock
+// to at least the packet arrival time (standard conservative co-simulation).
+class VirtualClock {
+public:
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+    void advance(SimTime dt) noexcept { now_ += dt; }
+    void observe(SimTime t) noexcept {
+        if (t > now_) now_ = t;
+    }
+    void reset(SimTime t = 0.0) noexcept { now_ = t; }
+
+private:
+    SimTime now_ = 0.0;
+};
+
+// A packet on the simulated wire. `kind` and `header` are opaque to the
+// fabric; the ucx layer defines them.
+struct Packet {
+    int src = -1;
+    int dst = -1;
+    std::uint16_t kind = 0;
+    ByteVec header;      // small protocol header (always by copy)
+    ByteVec payload;     // bulk payload carried by the wire (may be empty)
+    SimTime arrival = 0; // virtual arrival time at the destination
+    std::uint64_t seq = 0;
+};
+
+class Fabric {
+public:
+    Fabric(int num_endpoints, WireParams params);
+
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(inboxes_.size()); }
+    [[nodiscard]] const WireParams& params() const noexcept { return params_; }
+
+    // Transmit a packet. `ready` is the sender's virtual time when the
+    // packet is handed to the NIC; `wire_bytes` the number of bytes that
+    // occupy the link (header + payload); `sg_entries` the number of
+    // scatter-gather descriptors the NIC must walk; `rail` selects the
+    // physical rail whose serialization budget the packet occupies.
+    // Returns the arrival virtual time assigned to the packet. Thread-safe.
+    SimTime transmit(Packet&& pkt, SimTime ready, Count wire_bytes, Count sg_entries = 1,
+                     int rail = 0);
+
+    // Transmit a zero-byte control packet (RTS/CTS/FIN): latency-only cost,
+    // does not occupy link bandwidth.
+    SimTime transmit_control(Packet&& pkt, SimTime ready);
+
+    // Non-blocking poll of endpoint `ep`'s inbox; packets are delivered in
+    // the order their transmissions were issued per link.
+    [[nodiscard]] std::optional<Packet> poll(int ep);
+
+    // Blocking variant used by threaded-rank examples.
+    [[nodiscard]] Packet poll_blocking(int ep);
+
+    [[nodiscard]] bool inbox_empty(int ep);
+
+    // Direct memory transfer used to model RDMA (rendezvous zero-copy):
+    // copies `bytes` from `src` to `dst` immediately for correctness, and
+    // returns the virtual completion time of the transfer starting at
+    // `ready`. Accounts link serialization like transmit().
+    SimTime rdma_write(int src_ep, int dst_ep, const void* src, void* dst,
+                       Count bytes, SimTime ready);
+
+    // Virtual completion time for a gathered RDMA transfer with
+    // `sg_entries` descriptors totalling `bytes` (copies done by caller).
+    SimTime rdma_cost(int src_ep, int dst_ep, Count bytes, Count sg_entries,
+                      SimTime ready, int rail = 0);
+
+    // Reset all virtual state (link busy times). Inboxes must be empty.
+    void reset_time();
+
+private:
+    struct Inbox {
+        std::deque<Packet> q;
+    };
+
+    [[nodiscard]] std::size_t link_index(int src, int dst, int rail) const {
+        return (static_cast<std::size_t>(src) * inboxes_.size() +
+                static_cast<std::size_t>(dst)) *
+                   static_cast<std::size_t>(params_.rails) +
+               static_cast<std::size_t>(rail % params_.rails);
+    }
+
+    WireParams params_;
+    std::vector<Inbox> inboxes_;
+    std::vector<SimTime> link_free_at_; // [(src*n + dst)*rails + rail]
+    std::uint64_t next_seq_ = 0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+} // namespace mpicd::netsim

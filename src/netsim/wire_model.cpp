@@ -1,0 +1,28 @@
+#include "netsim/wire_model.hpp"
+
+#include "base/config.hpp"
+
+namespace mpicd::netsim {
+
+WireParams WireParams::from_env() {
+    WireParams p;
+    p.latency_us = env_double_or("MPICD_LATENCY_US", p.latency_us);
+    const double gbps =
+        env_double_or("MPICD_BANDWIDTH_GBPS", p.bandwidth_Bpus * 8.0 / 1000.0);
+    p.bandwidth_Bpus = gbps * 1000.0 / 8.0;
+    p.sg_entry_us = env_double_or("MPICD_SG_ENTRY_US", p.sg_entry_us);
+    const double host_gBps =
+        env_double_or("MPICD_HOST_COPY_GBPS", p.host_copy_Bpus / 1000.0);
+    p.host_copy_Bpus = host_gBps * 1000.0;
+    p.eager_threshold = env_int_or("MPICD_EAGER_THRESHOLD", p.eager_threshold);
+    p.iov_eager_threshold =
+        env_int_or("MPICD_IOV_EAGER_THRESHOLD", p.iov_eager_threshold);
+    p.rndv_frag_size = env_int_or("MPICD_RNDV_FRAG_SIZE", p.rndv_frag_size);
+    p.rndv_ctrl_us = env_double_or("MPICD_RNDV_CTRL_US", p.rndv_ctrl_us);
+    p.frag_overhead_us = env_double_or("MPICD_FRAG_OVERHEAD_US", p.frag_overhead_us);
+    p.rails = static_cast<int>(env_int_or("MPICD_RAILS", p.rails));
+    if (p.rails < 1) p.rails = 1;
+    return p;
+}
+
+} // namespace mpicd::netsim

@@ -1,0 +1,64 @@
+// Analytic wire-cost model for the simulated fabric.
+//
+// Calibrated to the paper's testbed (two nodes, ConnectX-5, 100 Gbps,
+// UCX 1.12): one-way small-message latency ~1.3 us, link bandwidth
+// 12.5 GB/s, eager->rendezvous switch at 32 KiB (the paper attributes the
+// manual-pack bandwidth dip at 2^15 bytes to this switch). Every parameter
+// can be overridden with an MPICD_* environment variable so that ablation
+// benches (e.g. ablation_eager_threshold) can sweep them.
+#pragma once
+
+#include "base/bytes.hpp"
+#include "base/time.hpp"
+
+namespace mpicd::netsim {
+
+struct WireParams {
+    // One-way per-message wire latency (us).
+    SimTime latency_us = 1.3;
+    // Link bandwidth in bytes per microsecond (12500 B/us == 12.5 GB/s).
+    double bandwidth_Bpus = 12500.0;
+    // Additional NIC cost per scatter-gather entry beyond the first (us).
+    // This is what makes many-small-region iovecs lose to packing
+    // (paper Fig. 10 discussion: NAS_LU_y, NAS_MG_x).
+    SimTime sg_entry_us = 0.04;
+    // Host memory copy bandwidth for simulator-internal copies that a real
+    // host would also perform (eager bounce-buffer copy on the receiver).
+    double host_copy_Bpus = 25000.0;
+    // Eager/rendezvous protocol switch point (bytes of wire payload).
+    Count eager_threshold = 32 * 1024;
+    // Separate switch point for scatter-gather (IOV) sends. UCX selects
+    // protocols differently for UCP_DATATYPE_IOV; the paper attributes the
+    // absence of the 2^15 dip on the custom path to exactly this
+    // (Fig. 7 discussion).
+    Count iov_eager_threshold = 1024 * 1024;
+    // Rendezvous pipeline fragment size (bytes).
+    Count rndv_frag_size = 512 * 1024;
+    // Extra one-way control-message cost for RTS and CTS (us each).
+    SimTime rndv_ctrl_us = 3.0;
+    // Per-fragment bookkeeping overhead in the rendezvous pipeline (us).
+    SimTime frag_overhead_us = 0.3;
+    // Independent network rails (ports/paths). Pipelined sends may stripe
+    // fragments across rails ONLY when the datatype permits out-of-order
+    // fragments (the paper's inorder flag, Listing 2, "would inhibit
+    // potential out-of-order optimizations in advanced implementations").
+    int rails = 2;
+
+    // Read MPICD_LATENCY_US, MPICD_BANDWIDTH_GBPS, MPICD_SG_ENTRY_US,
+    // MPICD_HOST_COPY_GBPS, MPICD_EAGER_THRESHOLD, MPICD_RNDV_FRAG_SIZE,
+    // MPICD_RNDV_CTRL_US, MPICD_FRAG_OVERHEAD_US.
+    [[nodiscard]] static WireParams from_env();
+
+    // Pure helpers (no link-contention state; see Fabric for serialization).
+    [[nodiscard]] SimTime serialize_time(Count bytes) const {
+        return static_cast<double>(bytes) / bandwidth_Bpus;
+    }
+    [[nodiscard]] SimTime sg_overhead(Count nentries) const {
+        return nentries > 1 ? static_cast<double>(nentries - 1) * sg_entry_us : 0.0;
+    }
+    [[nodiscard]] SimTime host_copy_time(Count bytes) const {
+        return static_cast<double>(bytes) / host_copy_Bpus;
+    }
+};
+
+} // namespace mpicd::netsim

@@ -1,0 +1,160 @@
+#include "p2p/collectives.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace mpicd::p2p {
+
+namespace {
+
+// Binomial-tree schedule shared by the bcast variants: `recv_from` is -1
+// for the root; `send_to` lists children in send order (real ranks).
+struct BcastSchedule {
+    int recv_from = -1;
+    std::vector<int> send_to;
+};
+
+BcastSchedule bcast_schedule(int rank, int size, int root) {
+    BcastSchedule s;
+    const int vrank = (rank - root + size) % size;
+    int mask = 1;
+    while (mask < size) {
+        if (vrank & mask) {
+            s.recv_from = ((vrank - mask) + root) % size;
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        if (vrank + mask < size) {
+            s.send_to.push_back(((vrank + mask) % size + root) % size);
+        }
+        mask >>= 1;
+    }
+    return s;
+}
+
+template <typename T>
+void apply_op(T* acc, const T* in, Count count, ReduceOp op) {
+    for (Count i = 0; i < count; ++i) {
+        switch (op) {
+            case ReduceOp::sum: acc[i] += in[i]; break;
+            case ReduceOp::min: acc[i] = std::min(acc[i], in[i]); break;
+            case ReduceOp::max: acc[i] = std::max(acc[i], in[i]); break;
+        }
+    }
+}
+
+// reduce-to-root + bcast implementation of allreduce. Logarithmic fan-in
+// matters little at the simulated scale; correctness and simplicity win.
+template <typename T>
+Status allreduce_impl(Communicator& comm, T* data, Count count, ReduceOp op,
+                      int tag) {
+    const int rank = comm.rank();
+    const int size = comm.size();
+    const Count bytes = count * static_cast<Count>(sizeof(T));
+    if (rank == 0) {
+        std::vector<T> incoming(static_cast<std::size_t>(count));
+        for (int src = 1; src < size; ++src) {
+            const auto st = comm.recv_bytes(incoming.data(), bytes, src, tag);
+            MPICD_RETURN_IF_ERROR(st.status);
+            apply_op(data, incoming.data(), count, op);
+        }
+    } else {
+        MPICD_RETURN_IF_ERROR(comm.send_bytes(data, bytes, 0, tag).status);
+    }
+    return bcast_bytes(comm, data, bytes, /*root=*/0, tag + 1);
+}
+
+} // namespace
+
+Status barrier(Communicator& comm, int tag) {
+    const int rank = comm.rank();
+    const int size = comm.size();
+    char token = 0;
+    for (int k = 1, round = 0; k < size; k <<= 1, ++round) {
+        const int to = (rank + k) % size;
+        const int from = (rank - k + size) % size;
+        auto rr = comm.irecv_bytes(&token, 1, from, tag + round);
+        auto rs = comm.isend_bytes(&token, 1, to, tag + round);
+        MPICD_RETURN_IF_ERROR(rs.wait().status);
+        MPICD_RETURN_IF_ERROR(rr.wait().status);
+    }
+    return Status::success;
+}
+
+Status bcast_bytes(Communicator& comm, void* buf, Count n, int root, int tag) {
+    const auto sched = bcast_schedule(comm.rank(), comm.size(), root);
+    if (sched.recv_from >= 0) {
+        MPICD_RETURN_IF_ERROR(comm.recv_bytes(buf, n, sched.recv_from, tag).status);
+    }
+    for (const int dst : sched.send_to) {
+        MPICD_RETURN_IF_ERROR(comm.send_bytes(buf, n, dst, tag).status);
+    }
+    return Status::success;
+}
+
+Status bcast(Communicator& comm, void* buf, Count count, const dt::TypeRef& type,
+             int root, int tag) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    const auto sched = bcast_schedule(comm.rank(), comm.size(), root);
+    if (sched.recv_from >= 0) {
+        MPICD_RETURN_IF_ERROR(
+            comm.irecv(buf, count, type, sched.recv_from, tag).wait().status);
+    }
+    for (const int dst : sched.send_to) {
+        MPICD_RETURN_IF_ERROR(comm.isend(buf, count, type, dst, tag).wait().status);
+    }
+    return Status::success;
+}
+
+Status bcast_custom(Communicator& comm, void* buf, Count count,
+                    const core::CustomDatatype& type, int root, int tag) {
+    const auto sched = bcast_schedule(comm.rank(), comm.size(), root);
+    if (sched.recv_from >= 0) {
+        MPICD_RETURN_IF_ERROR(
+            comm.irecv_custom(buf, count, type, sched.recv_from, tag).wait().status);
+    }
+    for (const int dst : sched.send_to) {
+        MPICD_RETURN_IF_ERROR(
+            comm.isend_custom(buf, count, type, dst, tag).wait().status);
+    }
+    return Status::success;
+}
+
+Status gather_bytes(Communicator& comm, const void* send, Count n, void* recv,
+                    int root, int tag) {
+    const int rank = comm.rank();
+    const int size = comm.size();
+    if (rank != root) {
+        return comm.send_bytes(send, n, root, tag).status;
+    }
+    if (recv == nullptr && n > 0) return Status::err_buffer;
+    auto* out = static_cast<std::byte*>(recv);
+    std::memcpy(out + static_cast<std::size_t>(rank) * static_cast<std::size_t>(n),
+                send, static_cast<std::size_t>(n));
+    // Post every receive up front so arrival order cannot deadlock.
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size - 1));
+    for (int src = 0; src < size; ++src) {
+        if (src == root) continue;
+        reqs.push_back(comm.irecv_bytes(
+            out + static_cast<std::size_t>(src) * static_cast<std::size_t>(n), n, src,
+            tag));
+    }
+    for (auto& rq : reqs) MPICD_RETURN_IF_ERROR(rq.wait().status);
+    return Status::success;
+}
+
+Status allreduce(Communicator& comm, double* data, Count count, ReduceOp op,
+                 int tag) {
+    return allreduce_impl(comm, data, count, op, tag);
+}
+
+Status allreduce(Communicator& comm, std::int64_t* data, Count count, ReduceOp op,
+                 int tag) {
+    return allreduce_impl(comm, data, count, op, tag);
+}
+
+} // namespace mpicd::p2p

@@ -1,0 +1,315 @@
+#include "p2p/communicator.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "base/log.hpp"
+#include "p2p/dt_bridge.hpp"
+#include "p2p/universe.hpp"
+
+namespace mpicd::p2p {
+
+namespace {
+
+// Wire tag layout: [16-bit context | 16-bit source rank | 32-bit user tag].
+constexpr int kSrcShift = 32;
+constexpr int kCtxShift = 48;
+constexpr ucx::Tag kUserMask = 0xFFFFFFFFull;
+constexpr ucx::Tag kSrcMask = 0xFFFFull << kSrcShift;
+constexpr ucx::Tag kCtxMask = 0xFFFFull << kCtxShift;
+
+// Wall-clock deadlock guard for wait() loops in test code.
+constexpr auto kWaitDeadline = std::chrono::seconds(120);
+
+} // namespace
+
+int decode_tag_source(ucx::Tag t) noexcept {
+    return static_cast<int>((t & kSrcMask) >> kSrcShift);
+}
+
+int decode_tag_user(ucx::Tag t) noexcept {
+    return static_cast<int>(t & kUserMask);
+}
+
+// ---------------------------------------------------------------------------
+// Request
+
+bool Request::finalize_locked_completion(ucx::Completion&& comp, MsgStatus* out) {
+    result_.status = comp.status;
+    result_.bytes = comp.received_len;
+    result_.source = decode_tag_source(comp.sender_tag);
+    result_.tag = decode_tag_user(comp.sender_tag);
+    result_.vtime = comp.vtime;
+    if (custom_ != nullptr) {
+        const Status st = custom_->finish(*worker_);
+        if (ok(result_.status) && !ok(st)) result_.status = st;
+        result_.vtime = worker_->now();
+        custom_.reset();
+    }
+    done_ = true;
+    if (out != nullptr) *out = result_;
+    return true;
+}
+
+bool Request::test(MsgStatus* out) {
+    if (done_) {
+        if (out != nullptr) *out = result_;
+        return true;
+    }
+    if (!ok(early_error_)) {
+        result_.status = early_error_;
+        done_ = true;
+        if (out != nullptr) *out = result_;
+        return true;
+    }
+    if (!valid()) {
+        result_.status = Status::err_arg;
+        done_ = true;
+        if (out != nullptr) *out = result_;
+        return true;
+    }
+    uni_->progress_all();
+    if (!worker_->is_complete(id_)) return false;
+    return finalize_locked_completion(worker_->take_completion(id_), out);
+}
+
+MsgStatus Request::wait() {
+    MsgStatus st;
+    const auto deadline = std::chrono::steady_clock::now() + kWaitDeadline;
+    int idle = 0;
+    while (!test(&st)) {
+        if (++idle > 1024) {
+            std::this_thread::yield();
+            idle = 0;
+            if (std::chrono::steady_clock::now() > deadline) {
+                MPICD_LOG_ERROR("Request::wait deadlocked (no progress for 120 s)");
+                std::abort();
+            }
+        }
+    }
+    return st;
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+
+Communicator::Communicator(Universe& uni, ucx::Worker& worker, int rank, int size,
+                           std::uint16_t context)
+    : uni_(uni), worker_(worker), rank_(rank), size_(size), context_(context) {}
+
+ucx::Tag Communicator::encode_send_tag(int tag) const {
+    return (static_cast<ucx::Tag>(context_) << kCtxShift) |
+           (static_cast<ucx::Tag>(static_cast<std::uint16_t>(rank_)) << kSrcShift) |
+           (static_cast<ucx::Tag>(static_cast<std::uint32_t>(tag)) & kUserMask);
+}
+
+void Communicator::encode_recv_tag(int src, int tag, ucx::Tag* t, ucx::Tag* mask) const {
+    ucx::Tag m = kCtxMask;
+    ucx::Tag v = static_cast<ucx::Tag>(context_) << kCtxShift;
+    if (src != kAnySource) {
+        m |= kSrcMask;
+        v |= static_cast<ucx::Tag>(static_cast<std::uint16_t>(src)) << kSrcShift;
+    }
+    if (tag != kAnyTag) {
+        m |= kUserMask;
+        v |= static_cast<ucx::Tag>(static_cast<std::uint32_t>(tag)) & kUserMask;
+    }
+    *t = v;
+    *mask = m;
+}
+
+Request Communicator::make_request(ucx::RequestId id) {
+    Request rq;
+    rq.uni_ = &uni_;
+    rq.worker_ = &worker_;
+    rq.id_ = id;
+    return rq;
+}
+
+Request Communicator::make_error_request(Status st) {
+    Request rq;
+    rq.uni_ = &uni_;
+    rq.worker_ = &worker_;
+    rq.early_error_ = st;
+    return rq;
+}
+
+Request Communicator::isend_bytes(const void* p, Count n, int dst, int tag) {
+    if (dst < 0 || dst >= size_ || n < 0) return make_error_request(Status::err_arg);
+    return make_request(
+        worker_.tag_send(dst, encode_send_tag(tag), ucx::make_contig_send(p, n)));
+}
+
+Request Communicator::irecv_bytes(void* p, Count n, int src, int tag) {
+    if (n < 0) return make_error_request(Status::err_arg);
+    ucx::Tag t = 0, mask = 0;
+    encode_recv_tag(src, tag, &t, &mask);
+    return make_request(worker_.tag_recv(t, mask, ucx::make_contig_recv(p, n)));
+}
+
+Request Communicator::isend(const void* buf, Count count, const dt::TypeRef& type,
+                            int dst, int tag) {
+    if (type == nullptr || count < 0 || dst < 0 || dst >= size_)
+        return make_error_request(Status::err_arg);
+    if (!type->committed()) return make_error_request(Status::err_not_committed);
+    if (type->is_contiguous()) {
+        return make_request(worker_.tag_send(
+            dst, encode_send_tag(tag),
+            ucx::make_contig_send(buf, type->size() * count)));
+    }
+    return make_request(
+        worker_.tag_send(dst, encode_send_tag(tag), dt_send_desc(type, buf, count)));
+}
+
+Request Communicator::irecv(void* buf, Count count, const dt::TypeRef& type, int src,
+                            int tag) {
+    if (type == nullptr || count < 0) return make_error_request(Status::err_arg);
+    if (!type->committed()) return make_error_request(Status::err_not_committed);
+    ucx::Tag t = 0, mask = 0;
+    encode_recv_tag(src, tag, &t, &mask);
+    if (type->is_contiguous()) {
+        return make_request(
+            worker_.tag_recv(t, mask, ucx::make_contig_recv(buf, type->size() * count)));
+    }
+    return make_request(worker_.tag_recv(t, mask, dt_recv_desc(type, buf, count)));
+}
+
+Request Communicator::isend_custom(const void* buf, Count count,
+                                   const core::CustomDatatype& type, int dst, int tag,
+                                   core::CustomLowering lowering) {
+    if (dst < 0 || dst >= size_) return make_error_request(Status::err_arg);
+    ucx::BufferDesc desc;
+    const Status st = core::lower_custom_send(type, buf, count, worker_, &desc, lowering);
+    if (!ok(st)) return make_error_request(st);
+    return make_request(worker_.tag_send(dst, encode_send_tag(tag), std::move(desc)));
+}
+
+Request Communicator::irecv_custom(void* buf, Count count,
+                                   const core::CustomDatatype& type, int src, int tag,
+                                   core::CustomLowering lowering) {
+    auto op = std::make_shared<core::CustomRecvOp>();
+    const Status st =
+        core::lower_custom_recv(type, buf, count, worker_, op.get(), lowering);
+    if (!ok(st)) return make_error_request(st);
+    ucx::Tag t = 0, mask = 0;
+    encode_recv_tag(src, tag, &t, &mask);
+    Request rq = make_request(worker_.tag_recv(t, mask, std::move(op->desc())));
+    rq.custom_ = std::move(op);
+    return rq;
+}
+
+MsgStatus Communicator::send_bytes(const void* p, Count n, int dst, int tag) {
+    return isend_bytes(p, n, dst, tag).wait();
+}
+MsgStatus Communicator::recv_bytes(void* p, Count n, int src, int tag) {
+    return irecv_bytes(p, n, src, tag).wait();
+}
+MsgStatus Communicator::send(const void* buf, Count count, const dt::TypeRef& type,
+                             int dst, int tag) {
+    return isend(buf, count, type, dst, tag).wait();
+}
+MsgStatus Communicator::recv(void* buf, Count count, const dt::TypeRef& type, int src,
+                             int tag) {
+    return irecv(buf, count, type, src, tag).wait();
+}
+MsgStatus Communicator::send_custom(const void* buf, Count count,
+                                    const core::CustomDatatype& type, int dst,
+                                    int tag) {
+    return isend_custom(buf, count, type, dst, tag).wait();
+}
+MsgStatus Communicator::recv_custom(void* buf, Count count,
+                                    const core::CustomDatatype& type, int src,
+                                    int tag) {
+    return irecv_custom(buf, count, type, src, tag).wait();
+}
+
+MsgStatus Communicator::sendrecv_bytes(const void* sendbuf, Count sendn, int dst,
+                                       int sendtag, void* recvbuf, Count recvn,
+                                       int src, int recvtag) {
+    Request rr = irecv_bytes(recvbuf, recvn, src, recvtag);
+    Request rs = isend_bytes(sendbuf, sendn, dst, sendtag);
+    const MsgStatus recv_st = rr.wait();
+    const MsgStatus send_st = rs.wait();
+    if (!ok(recv_st.status)) return recv_st;
+    if (!ok(send_st.status)) {
+        MsgStatus st = recv_st;
+        st.status = send_st.status;
+        return st;
+    }
+    return recv_st;
+}
+
+Status wait_all(std::span<Request> requests) {
+    Status first = Status::success;
+    for (auto& rq : requests) {
+        const auto st = rq.wait();
+        if (ok(first) && !ok(st.status)) first = st.status;
+    }
+    return first;
+}
+
+std::optional<ProbeResult> Communicator::iprobe(int src, int tag) {
+    uni_.progress_all();
+    ucx::Tag t = 0, mask = 0;
+    encode_recv_tag(src, tag, &t, &mask);
+    const auto info = worker_.probe(t, mask);
+    if (!info) return std::nullopt;
+    return ProbeResult{decode_tag_source(info->tag), decode_tag_user(info->tag),
+                       info->total_len};
+}
+
+ProbeResult Communicator::probe(int src, int tag) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    int idle = 0;
+    while (true) {
+        if (auto r = iprobe(src, tag)) return *r;
+        if (++idle > 1024) {
+            std::this_thread::yield();
+            idle = 0;
+            if (std::chrono::steady_clock::now() > deadline) {
+                MPICD_LOG_ERROR("probe deadlocked (no matching message for 120 s)");
+                std::abort();
+            }
+        }
+    }
+}
+
+std::optional<Message> Communicator::improbe(int src, int tag) {
+    uni_.progress_all();
+    ucx::Tag t = 0, mask = 0;
+    encode_recv_tag(src, tag, &t, &mask);
+    const auto handle = worker_.mprobe(t, mask);
+    if (!handle) return std::nullopt;
+    Message msg;
+    msg.handle = *handle;
+    msg.info = ProbeResult{decode_tag_source(handle->info.tag),
+                           decode_tag_user(handle->info.tag), handle->info.total_len};
+    return msg;
+}
+
+Message Communicator::mprobe(int src, int tag) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    int idle = 0;
+    while (true) {
+        if (auto m = improbe(src, tag)) return *m;
+        if (++idle > 1024) {
+            std::this_thread::yield();
+            idle = 0;
+            if (std::chrono::steady_clock::now() > deadline) {
+                MPICD_LOG_ERROR("mprobe deadlocked (no matching message for 120 s)");
+                std::abort();
+            }
+        }
+    }
+}
+
+Request Communicator::imrecv(Message& msg, void* p, Count n) {
+    if (!msg.valid() || n < 0) return make_error_request(Status::err_arg);
+    const ucx::RequestId id = worker_.imrecv(msg.handle, ucx::make_contig_recv(p, n));
+    msg.handle = ucx::MessageHandle{};
+    if (id == ucx::kInvalidRequest) return make_error_request(Status::err_arg);
+    return make_request(id);
+}
+
+} // namespace mpicd::p2p

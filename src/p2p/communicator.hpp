@@ -1,0 +1,163 @@
+// Communicator: the MPI-like point-to-point interface of the mpicd
+// prototype — blocking and nonblocking send/recv over three datatype
+// families (raw bytes / derived datatypes / custom datatypes), probe,
+// matched probe (Mprobe), and virtual-time access.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "base/bytes.hpp"
+#include "base/status.hpp"
+#include "base/time.hpp"
+#include "core/custom_type.hpp"
+#include "core/engine.hpp"
+#include "dt/datatype.hpp"
+#include "ucx/worker.hpp"
+
+namespace mpicd::p2p {
+
+class Universe;
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+// Completion record of a receive (or send) operation; the analog of
+// MPI_Status plus the virtual completion time.
+struct MsgStatus {
+    Status status = Status::success;
+    int source = -1;
+    int tag = 0;
+    Count bytes = 0;     // payload bytes transferred
+    SimTime vtime = 0.0; // virtual completion time at this rank
+};
+
+// Probe result (MPI_Probe / MPI_Mprobe analog).
+struct ProbeResult {
+    int source = -1;
+    int tag = 0;
+    Count bytes = 0;
+};
+
+// Matched-probe message handle (MPI_Message analog).
+struct Message {
+    ucx::MessageHandle handle;
+    ProbeResult info;
+    [[nodiscard]] bool valid() const noexcept { return handle.valid(); }
+};
+
+class Request {
+public:
+    Request() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return id_ != ucx::kInvalidRequest; }
+
+    // Nonblocking completion check; progresses the universe once.
+    [[nodiscard]] bool test(MsgStatus* out = nullptr);
+
+    // Progress until complete. Aborts (with a log message) if no progress
+    // is possible for a long wall-clock interval — a deadlock in test code.
+    MsgStatus wait();
+
+private:
+    friend class Communicator;
+
+    bool finalize_locked_completion(ucx::Completion&& comp, MsgStatus* out);
+
+    Universe* uni_ = nullptr;
+    ucx::Worker* worker_ = nullptr;
+    ucx::RequestId id_ = ucx::kInvalidRequest;
+    std::shared_ptr<core::CustomRecvOp> custom_; // deferred unpack, recv side
+    bool done_ = false;
+    MsgStatus result_;
+    Status early_error_ = Status::success; // lowering failed before posting
+};
+
+class Communicator {
+public:
+    Communicator(Universe& uni, ucx::Worker& worker, int rank, int size,
+                 std::uint16_t context);
+
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] int size() const noexcept { return size_; }
+    [[nodiscard]] Universe& universe() noexcept { return uni_; }
+    [[nodiscard]] ucx::Worker& worker() noexcept { return worker_; }
+
+    // --- Virtual time.
+    [[nodiscard]] SimTime now() { return worker_.now(); }
+    // Charge locally measured host work (e.g. manual packing in an
+    // application) to this rank's virtual clock.
+    void advance_time(SimTime dt) { worker_.advance_time(dt); }
+
+    // --- Raw byte messages (MPI_BYTE path; the "baseline" in the paper).
+    [[nodiscard]] Request isend_bytes(const void* p, Count n, int dst, int tag);
+    [[nodiscard]] Request irecv_bytes(void* p, Count n, int src, int tag);
+
+    // --- Derived datatypes (classic MPI; Open MPI-like engine).
+    [[nodiscard]] Request isend(const void* buf, Count count, const dt::TypeRef& type,
+                                int dst, int tag);
+    [[nodiscard]] Request irecv(void* buf, Count count, const dt::TypeRef& type,
+                                int src, int tag);
+
+    // --- Custom datatypes (the paper's API).
+    [[nodiscard]] Request isend_custom(const void* buf, Count count,
+                                       const core::CustomDatatype& type, int dst,
+                                       int tag,
+                                       core::CustomLowering lowering =
+                                           core::CustomLowering::iov);
+    [[nodiscard]] Request irecv_custom(void* buf, Count count,
+                                       const core::CustomDatatype& type, int src,
+                                       int tag,
+                                       core::CustomLowering lowering =
+                                           core::CustomLowering::iov);
+
+    // --- Blocking wrappers.
+    MsgStatus send_bytes(const void* p, Count n, int dst, int tag);
+    MsgStatus recv_bytes(void* p, Count n, int src, int tag);
+    MsgStatus send(const void* buf, Count count, const dt::TypeRef& type, int dst,
+                   int tag);
+    MsgStatus recv(void* buf, Count count, const dt::TypeRef& type, int src, int tag);
+    MsgStatus send_custom(const void* buf, Count count,
+                          const core::CustomDatatype& type, int dst, int tag);
+    MsgStatus recv_custom(void* buf, Count count, const core::CustomDatatype& type,
+                          int src, int tag);
+
+    // Combined send+receive (MPI_Sendrecv pattern): both operations are
+    // posted before either is waited on, so it is deadlock-free when every
+    // rank of a cycle calls it.
+    MsgStatus sendrecv_bytes(const void* sendbuf, Count sendn, int dst, int sendtag,
+                             void* recvbuf, Count recvn, int src, int recvtag);
+
+    // --- Probe family.
+    [[nodiscard]] std::optional<ProbeResult> iprobe(int src, int tag);
+    [[nodiscard]] ProbeResult probe(int src, int tag); // blocking
+    [[nodiscard]] std::optional<Message> improbe(int src, int tag);
+    [[nodiscard]] Message mprobe(int src, int tag); // blocking
+    [[nodiscard]] Request imrecv(Message& msg, void* p, Count n);
+
+private:
+    friend class Request;
+
+    [[nodiscard]] ucx::Tag encode_send_tag(int tag) const;
+    void encode_recv_tag(int src, int tag, ucx::Tag* t, ucx::Tag* mask) const;
+    Request make_request(ucx::RequestId id);
+    Request make_error_request(Status st);
+
+    Universe& uni_;
+    ucx::Worker& worker_;
+    int rank_;
+    int size_;
+    std::uint16_t context_;
+};
+
+// Wait for every request; returns the first non-success status (all
+// requests are waited regardless).
+[[nodiscard]] Status wait_all(std::span<Request> requests);
+
+// Decode the source rank / user tag from a wire tag (used internally and
+// by tests).
+[[nodiscard]] int decode_tag_source(ucx::Tag t) noexcept;
+[[nodiscard]] int decode_tag_user(ucx::Tag t) noexcept;
+
+} // namespace mpicd::p2p

@@ -1,0 +1,84 @@
+#include "p2p/dt_bridge.hpp"
+
+#include "dt/convertor.hpp"
+
+namespace mpicd::p2p {
+
+namespace {
+
+// Context shared by all callbacks of one operation; owned via the
+// descriptor's keepalive anchor.
+struct DtCtx {
+    dt::TypeRef type;
+};
+
+struct DtState {
+    dt::Convertor cv;
+};
+
+Status dt_start_pack(void* ctx, const void* buf, Count count, void** state) {
+    auto* c = static_cast<DtCtx*>(ctx);
+    *state = new DtState{dt::Convertor(c->type, const_cast<void*>(buf), count)};
+    return Status::success;
+}
+
+Status dt_start_unpack(void* ctx, void* buf, Count count, void** state) {
+    auto* c = static_cast<DtCtx*>(ctx);
+    *state = new DtState{dt::Convertor(c->type, buf, count)};
+    return Status::success;
+}
+
+Status dt_packed_size(void* state, Count* size) {
+    *size = static_cast<DtState*>(state)->cv.total_packed();
+    return Status::success;
+}
+
+Status dt_pack(void* state, Count offset, void* dst, Count dst_size, Count* used) {
+    auto& cv = static_cast<DtState*>(state)->cv;
+    if (cv.position() != offset) cv.seek(offset);
+    return cv.pack(MutBytes(static_cast<std::byte*>(dst),
+                            static_cast<std::size_t>(dst_size)),
+                   used);
+}
+
+Status dt_unpack(void* state, Count offset, const void* src, Count src_size) {
+    auto& cv = static_cast<DtState*>(state)->cv;
+    if (cv.position() != offset) cv.seek(offset);
+    return cv.unpack(ConstBytes(static_cast<const std::byte*>(src),
+                                static_cast<std::size_t>(src_size)));
+}
+
+void dt_finish(void* state) { delete static_cast<DtState*>(state); }
+
+ucx::GenericDesc make_desc(const dt::TypeRef& type, Count count) {
+    auto ctx = std::make_shared<DtCtx>();
+    ctx->type = type;
+    ucx::GenericDesc g;
+    g.ops.start_pack = dt_start_pack;
+    g.ops.start_unpack = dt_start_unpack;
+    g.ops.packed_size = dt_packed_size;
+    g.ops.pack = dt_pack;
+    g.ops.unpack = dt_unpack;
+    g.ops.finish = dt_finish;
+    g.ops.ctx = ctx.get();
+    g.ops.inorder = true; // the convertor is cheapest when driven in order
+    g.count = count;
+    g.keepalive = std::move(ctx);
+    return g;
+}
+
+} // namespace
+
+ucx::BufferDesc dt_send_desc(const dt::TypeRef& type, const void* buf, Count count) {
+    auto g = make_desc(type, count);
+    g.send_buf = buf;
+    return g;
+}
+
+ucx::BufferDesc dt_recv_desc(const dt::TypeRef& type, void* buf, Count count) {
+    auto g = make_desc(type, count);
+    g.recv_buf = buf;
+    return g;
+}
+
+} // namespace mpicd::p2p

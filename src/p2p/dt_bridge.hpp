@@ -1,0 +1,23 @@
+// Bridge from the derived-datatype engine (dt::Convertor) to the
+// transport's generic-datatype callbacks. This is how "Open MPI style"
+// derived-datatype sends work in this library: non-contiguous types are
+// packed/unpacked through the convertor, pipelined by the transport — the
+// baseline the paper's custom API is compared against.
+#pragma once
+
+#include <memory>
+
+#include "dt/datatype.hpp"
+#include "ucx/datatype.hpp"
+
+namespace mpicd::p2p {
+
+// Build a generic send descriptor over (buf, count, type).
+[[nodiscard]] ucx::BufferDesc dt_send_desc(const dt::TypeRef& type, const void* buf,
+                                           Count count);
+
+// Build a generic receive descriptor over (buf, count, type).
+[[nodiscard]] ucx::BufferDesc dt_recv_desc(const dt::TypeRef& type, void* buf,
+                                           Count count);
+
+} // namespace mpicd::p2p

@@ -1,0 +1,19 @@
+#include "p2p/runner.hpp"
+
+#include <thread>
+#include <vector>
+
+namespace mpicd::p2p {
+
+void run_world(int nranks, const std::function<void(Communicator&)>& fn,
+               netsim::WireParams params) {
+    Universe uni(nranks, params);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        threads.emplace_back([&uni, &fn, r] { fn(uni.comm(r)); });
+    }
+    for (auto& t : threads) t.join();
+}
+
+} // namespace mpicd::p2p

@@ -1,0 +1,37 @@
+#include "p2p/universe.hpp"
+
+#include <cassert>
+
+#include "p2p/communicator.hpp"
+
+namespace mpicd::p2p {
+
+Universe::Universe(int nranks, netsim::WireParams params)
+    : fabric_(nranks, params) {
+    assert(nranks > 0);
+    workers_.reserve(static_cast<std::size_t>(nranks));
+    comms_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        workers_.push_back(std::make_unique<ucx::Worker>(fabric_, r));
+    }
+    for (int r = 0; r < nranks; ++r) {
+        comms_.push_back(
+            std::make_unique<Communicator>(*this, *workers_[static_cast<std::size_t>(r)],
+                                           r, nranks, /*context=*/0));
+    }
+}
+
+Universe::~Universe() = default;
+
+Communicator& Universe::comm(int rank) {
+    assert(rank >= 0 && rank < size());
+    return *comms_[static_cast<std::size_t>(rank)];
+}
+
+bool Universe::progress_all() {
+    bool any = false;
+    for (auto& w : workers_) any = w->progress() || any;
+    return any;
+}
+
+} // namespace mpicd::p2p

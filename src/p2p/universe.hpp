@@ -1,0 +1,48 @@
+// Universe: an in-process "job" of simulated MPI ranks.
+//
+// The paper's testbed is two physical nodes; here every rank is an endpoint
+// on the simulated fabric. Ranks may be driven from one thread
+// (deterministic benchmark mode: post nonblocking operations on several
+// communicators and progress the whole universe) or one thread per rank
+// (examples; see p2p/runner.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netsim/fabric.hpp"
+#include "ucx/worker.hpp"
+
+namespace mpicd::p2p {
+
+class Communicator;
+
+class Universe {
+public:
+    explicit Universe(int nranks,
+                      netsim::WireParams params = netsim::WireParams::from_env());
+    ~Universe();
+    Universe(const Universe&) = delete;
+    Universe& operator=(const Universe&) = delete;
+
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+    // The world communicator as seen by `rank`.
+    [[nodiscard]] Communicator& comm(int rank);
+
+    [[nodiscard]] ucx::Worker& worker(int rank) {
+        return *workers_[static_cast<std::size_t>(rank)];
+    }
+    [[nodiscard]] netsim::Fabric& fabric() noexcept { return fabric_; }
+
+    // Progress every rank's protocol engine once; returns true if any
+    // packet was handled anywhere.
+    bool progress_all();
+
+private:
+    netsim::Fabric fabric_;
+    std::vector<std::unique_ptr<ucx::Worker>> workers_;
+    std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+} // namespace mpicd::p2p

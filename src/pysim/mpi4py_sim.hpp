@@ -1,0 +1,60 @@
+// mpi4py-like Python-object transfer strategies (paper §V-B).
+//
+// Three ways to move a PyValue between ranks, exactly the series of
+// Figs. 8–9:
+//  - basic:     in-band pickle. One message holding the full serialized
+//               stream (metadata + all payload bytes copied inline).
+//  - oob_multi: protocol-5 out-of-band pickle over multiple MPI messages:
+//               header stream, then a lengths message, then one message
+//               per out-of-band buffer (what mpi4py does today; shares the
+//               tag space across the pieces, hence the paper's threading
+//               concern).
+//  - oob_cdt:   out-of-band pickle through the custom datatype engine:
+//               a small header message (stream + region lengths — the
+//               workaround of paper §VI for unknown receive sizes), then a
+//               single custom-datatype message whose memory regions are
+//               the out-of-band buffers (zero-copy, one matched pair).
+//
+// The receive side always allocates the object graph from the header
+// before payload data arrives (mpi4py/pickle semantics); those allocations
+// are the reason none of the methods reaches the raw roofline.
+#pragma once
+
+#include "p2p/communicator.hpp"
+#include "pysim/pickle.hpp"
+
+namespace mpicd::pysim {
+
+enum class PyXfer { basic, oob_multi, oob_cdt };
+
+[[nodiscard]] constexpr const char* to_cstring(PyXfer m) noexcept {
+    switch (m) {
+        case PyXfer::basic: return "pickle-basic";
+        case PyXfer::oob_multi: return "pickle-oob";
+        case PyXfer::oob_cdt: return "pickle-oob-cdt";
+    }
+    return "?";
+}
+
+struct PyXferOptions {
+    PyXfer method = PyXfer::basic;
+    Count oob_threshold = 4096;
+};
+
+// Blocking send/recv of a Python-like object. Pickle work (dumps / loads /
+// receive-side allocation) is measured and charged to the rank's virtual
+// clock; message transfer costs come from the simulated fabric.
+[[nodiscard]] Status send_pyobj(p2p::Communicator& comm, const PyValue& value, int dst,
+                                int tag, const PyXferOptions& opts);
+[[nodiscard]] Status recv_pyobj(p2p::Communicator& comm, PyValue* out, int src,
+                                int tag, const PyXferOptions& opts);
+
+// A dynamic list of raw memory regions sent/received as one custom-datatype
+// message — the lowering used by oob_cdt (and reusable elsewhere).
+struct RegionList {
+    std::vector<IovEntry> regions;
+};
+
+[[nodiscard]] const core::CustomDatatype& region_list_datatype();
+
+} // namespace mpicd::pysim

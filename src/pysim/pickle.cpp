@@ -1,0 +1,219 @@
+#include "pysim/pickle.hpp"
+
+#include <cstring>
+
+#include "serial/archive.hpp"
+
+namespace mpicd::pysim {
+
+namespace {
+
+enum class Op : std::uint8_t {
+    none = 0,
+    bool_ = 1,
+    int_ = 2,
+    float_ = 3,
+    str = 4,
+    list = 5,
+    dict = 6,
+    ndarray = 7,
+};
+
+Status dump_value(const PyValue& v, serial::OArchive& ar,
+                  std::vector<PickleBuffer>* oob) {
+    if (v.is_none()) {
+        ar.put_u8(static_cast<std::uint8_t>(Op::none));
+        return Status::success;
+    }
+    if (v.is_bool()) {
+        ar.put_u8(static_cast<std::uint8_t>(Op::bool_));
+        ar.put_u8(v.as_bool() ? 1 : 0);
+        return Status::success;
+    }
+    if (v.is_int()) {
+        ar.put_u8(static_cast<std::uint8_t>(Op::int_));
+        ar.put_scalar(v.as_int());
+        return Status::success;
+    }
+    if (v.is_float()) {
+        ar.put_u8(static_cast<std::uint8_t>(Op::float_));
+        ar.put_scalar(v.as_float());
+        return Status::success;
+    }
+    if (v.is_str()) {
+        ar.put_u8(static_cast<std::uint8_t>(Op::str));
+        ar.put_string(v.as_str());
+        return Status::success;
+    }
+    if (v.is_list()) {
+        ar.put_u8(static_cast<std::uint8_t>(Op::list));
+        ar.put_varint(v.as_list().size());
+        for (const auto& item : v.as_list()) MPICD_RETURN_IF_ERROR(dump_value(item, ar, oob));
+        return Status::success;
+    }
+    if (v.is_dict()) {
+        ar.put_u8(static_cast<std::uint8_t>(Op::dict));
+        ar.put_varint(v.as_dict().size());
+        for (const auto& [key, item] : v.as_dict()) {
+            ar.put_string(key);
+            MPICD_RETURN_IF_ERROR(dump_value(item, ar, oob));
+        }
+        return Status::success;
+    }
+    if (v.is_ndarray()) {
+        const auto& a = v.as_ndarray();
+        // The ndarray metadata header (dtype, ndim, shape) — the ~120-byte
+        // pickle header the paper mentions in §V-B.
+        ar.put_u8(static_cast<std::uint8_t>(Op::ndarray));
+        ar.put_u8(static_cast<std::uint8_t>(a.dtype()));
+        ar.put_varint(a.shape().size());
+        for (const Count s : a.shape()) ar.put_varint(static_cast<std::uint64_t>(s));
+        ar.put_blob(ConstBytes(a.data(), static_cast<std::size_t>(a.nbytes())));
+        if (oob != nullptr) {
+            // Track ownership for any blob the archive exported out-of-band.
+            while (oob->size() < ar.oob().size()) {
+                const auto& region = ar.oob()[oob->size()];
+                oob->push_back({a.buffer(), static_cast<const std::byte*>(region.base),
+                                region.len});
+            }
+        }
+        return Status::success;
+    }
+    return Status::err_serialize;
+}
+
+Status load_value(serial::IArchive& ar, PyValue* out, std::vector<IovEntry>* fill);
+
+Status load_ndarray(serial::IArchive& ar, PyValue* out, std::vector<IovEntry>* fill) {
+    std::uint8_t dtype_raw = 0;
+    MPICD_RETURN_IF_ERROR(ar.get_u8(&dtype_raw));
+    if (dtype_raw > static_cast<std::uint8_t>(DType::f64)) return Status::err_serialize;
+    std::uint64_t ndim = 0;
+    MPICD_RETURN_IF_ERROR(ar.get_varint(&ndim));
+    if (ndim > 32) return Status::err_serialize;
+    std::vector<Count> shape(static_cast<std::size_t>(ndim));
+    for (auto& s : shape) {
+        std::uint64_t v = 0;
+        MPICD_RETURN_IF_ERROR(ar.get_varint(&v));
+        s = static_cast<Count>(v);
+    }
+    // Receive-side allocation happens here (NdArray constructor) — the
+    // cost the paper identifies as keeping out-of-band methods below the
+    // roofline.
+    NdArray a(static_cast<DType>(dtype_raw), std::move(shape));
+
+    // Blob: inline (copy now) or out-of-band (register a fill target).
+    // We parse the blob descriptor by hand because out-of-band regions are
+    // not available yet at this phase.
+    std::uint8_t tag = 0;
+    MPICD_RETURN_IF_ERROR(ar.get_u8(&tag));
+    if (tag == 0) {
+        std::uint64_t len = 0;
+        MPICD_RETURN_IF_ERROR(ar.get_varint(&len));
+        if (static_cast<Count>(len) != a.nbytes()) return Status::err_serialize;
+        MPICD_RETURN_IF_ERROR(
+            ar.get_raw(MutBytes(a.data(), static_cast<std::size_t>(len))));
+    } else if (tag == 1) {
+        std::uint64_t idx = 0, len = 0;
+        MPICD_RETURN_IF_ERROR(ar.get_varint(&idx));
+        MPICD_RETURN_IF_ERROR(ar.get_varint(&len));
+        if (static_cast<Count>(len) != a.nbytes()) return Status::err_serialize;
+        if (fill == nullptr) return Status::err_serialize;
+        if (idx != fill->size()) return Status::err_serialize; // in-order indices
+        fill->push_back({a.data(), a.nbytes()});
+    } else {
+        return Status::err_serialize;
+    }
+    *out = PyValue(std::move(a));
+    return Status::success;
+}
+
+Status load_value(serial::IArchive& ar, PyValue* out, std::vector<IovEntry>* fill) {
+    std::uint8_t op_raw = 0;
+    MPICD_RETURN_IF_ERROR(ar.get_u8(&op_raw));
+    switch (static_cast<Op>(op_raw)) {
+        case Op::none:
+            *out = PyValue();
+            return Status::success;
+        case Op::bool_: {
+            std::uint8_t b = 0;
+            MPICD_RETURN_IF_ERROR(ar.get_u8(&b));
+            *out = PyValue(b != 0);
+            return Status::success;
+        }
+        case Op::int_: {
+            std::int64_t v = 0;
+            MPICD_RETURN_IF_ERROR(ar.get_scalar(&v));
+            *out = PyValue(v);
+            return Status::success;
+        }
+        case Op::float_: {
+            double v = 0;
+            MPICD_RETURN_IF_ERROR(ar.get_scalar(&v));
+            *out = PyValue(v);
+            return Status::success;
+        }
+        case Op::str: {
+            std::string s;
+            MPICD_RETURN_IF_ERROR(ar.get_string(&s));
+            *out = PyValue(std::move(s));
+            return Status::success;
+        }
+        case Op::list: {
+            std::uint64_t n = 0;
+            MPICD_RETURN_IF_ERROR(ar.get_varint(&n));
+            PyList items(static_cast<std::size_t>(n));
+            for (auto& item : items) MPICD_RETURN_IF_ERROR(load_value(ar, &item, fill));
+            *out = PyValue(std::move(items));
+            return Status::success;
+        }
+        case Op::dict: {
+            std::uint64_t n = 0;
+            MPICD_RETURN_IF_ERROR(ar.get_varint(&n));
+            PyDict items;
+            items.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::string key;
+                MPICD_RETURN_IF_ERROR(ar.get_string(&key));
+                PyValue item;
+                MPICD_RETURN_IF_ERROR(load_value(ar, &item, fill));
+                items.emplace_back(std::move(key), std::move(item));
+            }
+            *out = PyValue(std::move(items));
+            return Status::success;
+        }
+        case Op::ndarray:
+            return load_ndarray(ar, out, fill);
+    }
+    return Status::err_serialize;
+}
+
+} // namespace
+
+Status dumps(const PyValue& value, const DumpOptions& opts, Pickled* out) {
+    if (out == nullptr) return Status::err_arg;
+    serial::OobPolicy policy;
+    policy.enabled = opts.out_of_band;
+    policy.threshold = opts.oob_threshold;
+    serial::OArchive ar(policy);
+    out->oob.clear();
+    MPICD_RETURN_IF_ERROR(dump_value(value, ar, &out->oob));
+    out->stream = ar.take_stream();
+    return Status::success;
+}
+
+Status loads_alloc(ConstBytes stream, PyValue* out, std::vector<IovEntry>* fill) {
+    if (out == nullptr) return Status::err_arg;
+    serial::IArchive ar(stream);
+    MPICD_RETURN_IF_ERROR(load_value(ar, out, fill));
+    if (!ar.exhausted()) return Status::err_serialize;
+    return Status::success;
+}
+
+Status loads(ConstBytes stream, PyValue* out) {
+    std::vector<IovEntry> fill;
+    MPICD_RETURN_IF_ERROR(loads_alloc(stream, out, &fill));
+    return fill.empty() ? Status::success : Status::err_serialize;
+}
+
+} // namespace mpicd::pysim

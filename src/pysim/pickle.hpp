@@ -1,0 +1,53 @@
+// Pickle-like serializer for PyValue with protocol-5-style out-of-band
+// buffers (PEP 574 analog; paper §II-C).
+//
+// dumps() produces an in-band byte stream; with out-of-band enabled,
+// ndarray payloads of at least `threshold` bytes are *not* copied into the
+// stream — instead a PickleBuffer referencing the array's shared buffer is
+// appended to the buffer list (zero-copy), and the stream records only the
+// small metadata header (dtype, shape, byte order of this machine).
+//
+// Deserialization is two-phase to mirror mpi4py's receive path:
+//   1. loads_alloc() parses the stream, allocates every ndarray buffer
+//      (the receive-side allocations the paper calls out as the reason
+//      out-of-band methods cannot reach the roofline), fills inline
+//      payloads, and returns fill targets for the out-of-band ones;
+//   2. the caller receives the out-of-band data directly into those
+//      targets — no further copies.
+#pragma once
+
+#include "base/status.hpp"
+#include "pysim/pyvalue.hpp"
+
+namespace mpicd::pysim {
+
+// Zero-copy reference to an out-of-band payload (PEP 574 PickleBuffer).
+struct PickleBuffer {
+    std::shared_ptr<ByteVec> owner; // keeps the ndarray buffer alive
+    const std::byte* data = nullptr;
+    Count len = 0;
+};
+
+struct Pickled {
+    ByteVec stream;                  // in-band metadata + inline payloads
+    std::vector<PickleBuffer> oob;   // out-of-band payloads, in order
+};
+
+struct DumpOptions {
+    bool out_of_band = false;
+    Count oob_threshold = 4096; // payloads >= this go out-of-band
+};
+
+[[nodiscard]] Status dumps(const PyValue& value, const DumpOptions& opts, Pickled* out);
+
+// Phase 1 of deserialization: rebuild the object graph, allocating all
+// ndarray buffers. Inline payloads are copied from the stream; for each
+// out-of-band payload (in stream order) a fill target pointing into the
+// freshly-allocated buffer is appended to *fill.
+[[nodiscard]] Status loads_alloc(ConstBytes stream, PyValue* out,
+                                 std::vector<IovEntry>* fill);
+
+// Convenience for fully in-band streams.
+[[nodiscard]] Status loads(ConstBytes stream, PyValue* out);
+
+} // namespace mpicd::pysim

@@ -1,0 +1,110 @@
+#include "pysim/pyvalue.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace mpicd::pysim {
+
+NdArray::NdArray(DType dtype, std::vector<Count> shape)
+    : dtype_(dtype), shape_(std::move(shape)) {
+    buffer_ = std::make_shared<ByteVec>(static_cast<std::size_t>(nbytes()));
+}
+
+NdArray NdArray::zeros(DType dtype, std::vector<Count> shape) {
+    return NdArray(dtype, std::move(shape));
+}
+
+NdArray NdArray::pattern(DType dtype, std::vector<Count> shape, std::uint32_t seed) {
+    NdArray a(dtype, std::move(shape));
+    // Simple xorshift pattern, independent of dtype width.
+    std::uint32_t x = seed * 2654435761u + 1u;
+    auto* p = reinterpret_cast<std::uint8_t*>(a.data());
+    const std::size_t n = static_cast<std::size_t>(a.nbytes());
+    for (std::size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        p[i] = static_cast<std::uint8_t>(x);
+    }
+    return a;
+}
+
+Count NdArray::elements() const noexcept {
+    Count n = 1;
+    for (const Count s : shape_) n *= s;
+    return shape_.empty() ? 0 : n;
+}
+
+bool NdArray::operator==(const NdArray& other) const {
+    if (dtype_ != other.dtype_ || shape_ != other.shape_) return false;
+    const Count n = nbytes();
+    if (n != other.nbytes()) return false;
+    if (n == 0) return true;
+    return std::memcmp(data(), other.data(), static_cast<std::size_t>(n)) == 0;
+}
+
+bool PyValue::operator==(const PyValue& other) const { return v_ == other.v_; }
+
+namespace {
+
+void repr_into(const PyValue& v, std::ostringstream& os) {
+    if (v.is_none()) {
+        os << "None";
+    } else if (v.is_bool()) {
+        os << (v.as_bool() ? "True" : "False");
+    } else if (v.is_int()) {
+        os << v.as_int();
+    } else if (v.is_float()) {
+        os << v.as_float();
+    } else if (v.is_str()) {
+        os << '\'' << v.as_str() << '\'';
+    } else if (v.is_list()) {
+        os << '[';
+        bool first = true;
+        for (const auto& item : v.as_list()) {
+            if (!first) os << ", ";
+            first = false;
+            repr_into(item, os);
+        }
+        os << ']';
+    } else if (v.is_dict()) {
+        os << '{';
+        bool first = true;
+        for (const auto& [k, item] : v.as_dict()) {
+            if (!first) os << ", ";
+            first = false;
+            os << '\'' << k << "': ";
+            repr_into(item, os);
+        }
+        os << '}';
+    } else if (v.is_ndarray()) {
+        const auto& a = v.as_ndarray();
+        os << "ndarray(" << dtype_name(a.dtype()) << ", [";
+        for (std::size_t d = 0; d < a.shape().size(); ++d) {
+            if (d > 0) os << ", ";
+            os << a.shape()[d];
+        }
+        os << "])";
+    }
+}
+
+} // namespace
+
+std::string PyValue::repr() const {
+    std::ostringstream os;
+    repr_into(*this, os);
+    return os.str();
+}
+
+Count PyValue::payload_bytes() const {
+    if (is_ndarray()) return as_ndarray().nbytes();
+    Count total = 0;
+    if (is_list()) {
+        for (const auto& v : as_list()) total += v.payload_bytes();
+    } else if (is_dict()) {
+        for (const auto& [k, v] : as_dict()) total += v.payload_bytes();
+    }
+    return total;
+}
+
+} // namespace mpicd::pysim

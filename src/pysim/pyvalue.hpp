@@ -1,0 +1,149 @@
+// PyValue: a dynamic, Python-like object model.
+//
+// The paper's §V-B experiments communicate Python objects (NumPy arrays
+// and composite user objects) through mpi4py + pickle. This substrate
+// provides the equivalent value model in C++: none / bool / int / float /
+// str / list / dict plus NdArray, a shape+dtype view over a shared byte
+// buffer (NumPy analog with zero-copy buffer sharing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "base/bytes.hpp"
+
+namespace mpicd::pysim {
+
+enum class DType : std::uint8_t { u8, i32, i64, f32, f64 };
+
+[[nodiscard]] constexpr std::size_t dtype_size(DType d) noexcept {
+    switch (d) {
+        case DType::u8: return 1;
+        case DType::i32:
+        case DType::f32: return 4;
+        case DType::i64:
+        case DType::f64: return 8;
+    }
+    return 0;
+}
+
+[[nodiscard]] constexpr const char* dtype_name(DType d) noexcept {
+    switch (d) {
+        case DType::u8: return "uint8";
+        case DType::i32: return "int32";
+        case DType::i64: return "int64";
+        case DType::f32: return "float32";
+        case DType::f64: return "float64";
+    }
+    return "?";
+}
+
+// NumPy-like n-dimensional array over a shared, contiguous buffer.
+class NdArray {
+public:
+    NdArray() = default;
+    NdArray(DType dtype, std::vector<Count> shape);
+
+    [[nodiscard]] static NdArray zeros(DType dtype, std::vector<Count> shape);
+    // Fill with a deterministic pattern derived from `seed` (tests/benches).
+    [[nodiscard]] static NdArray pattern(DType dtype, std::vector<Count> shape,
+                                         std::uint32_t seed);
+
+    [[nodiscard]] DType dtype() const noexcept { return dtype_; }
+    [[nodiscard]] const std::vector<Count>& shape() const noexcept { return shape_; }
+    [[nodiscard]] Count elements() const noexcept;
+    [[nodiscard]] Count nbytes() const noexcept {
+        return elements() * static_cast<Count>(dtype_size(dtype_));
+    }
+    [[nodiscard]] std::byte* data() noexcept {
+        return buffer_ ? buffer_->data() : nullptr;
+    }
+    [[nodiscard]] const std::byte* data() const noexcept {
+        return buffer_ ? buffer_->data() : nullptr;
+    }
+    [[nodiscard]] const std::shared_ptr<ByteVec>& buffer() const noexcept {
+        return buffer_;
+    }
+
+    [[nodiscard]] bool operator==(const NdArray& other) const;
+
+private:
+    DType dtype_ = DType::u8;
+    std::vector<Count> shape_;
+    std::shared_ptr<ByteVec> buffer_;
+};
+
+class PyValue;
+using PyList = std::vector<PyValue>;
+// Insertion-ordered mapping (Python dicts preserve insertion order).
+using PyDict = std::vector<std::pair<std::string, PyValue>>;
+
+class PyValue {
+public:
+    PyValue() = default; // None
+    PyValue(bool v) : v_(v) {}
+    PyValue(std::int64_t v) : v_(v) {}
+    PyValue(int v) : v_(static_cast<std::int64_t>(v)) {}
+    PyValue(double v) : v_(v) {}
+    PyValue(std::string v) : v_(std::move(v)) {}
+    PyValue(const char* v) : v_(std::string(v)) {}
+    PyValue(PyList v) : v_(std::move(v)) {}
+    PyValue(PyDict v) : v_(std::move(v)) {}
+    PyValue(NdArray v) : v_(std::move(v)) {}
+
+    [[nodiscard]] bool is_none() const noexcept {
+        return std::holds_alternative<std::monostate>(v_);
+    }
+    [[nodiscard]] bool is_bool() const noexcept {
+        return std::holds_alternative<bool>(v_);
+    }
+    [[nodiscard]] bool is_int() const noexcept {
+        return std::holds_alternative<std::int64_t>(v_);
+    }
+    [[nodiscard]] bool is_float() const noexcept {
+        return std::holds_alternative<double>(v_);
+    }
+    [[nodiscard]] bool is_str() const noexcept {
+        return std::holds_alternative<std::string>(v_);
+    }
+    [[nodiscard]] bool is_list() const noexcept {
+        return std::holds_alternative<PyList>(v_);
+    }
+    [[nodiscard]] bool is_dict() const noexcept {
+        return std::holds_alternative<PyDict>(v_);
+    }
+    [[nodiscard]] bool is_ndarray() const noexcept {
+        return std::holds_alternative<NdArray>(v_);
+    }
+
+    [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+    [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+    [[nodiscard]] double as_float() const { return std::get<double>(v_); }
+    [[nodiscard]] const std::string& as_str() const { return std::get<std::string>(v_); }
+    [[nodiscard]] const PyList& as_list() const { return std::get<PyList>(v_); }
+    [[nodiscard]] PyList& as_list() { return std::get<PyList>(v_); }
+    [[nodiscard]] const PyDict& as_dict() const { return std::get<PyDict>(v_); }
+    [[nodiscard]] PyDict& as_dict() { return std::get<PyDict>(v_); }
+    [[nodiscard]] const NdArray& as_ndarray() const { return std::get<NdArray>(v_); }
+    [[nodiscard]] NdArray& as_ndarray() { return std::get<NdArray>(v_); }
+
+    // Deep structural equality (ndarrays compare contents).
+    [[nodiscard]] bool operator==(const PyValue& other) const;
+
+    // Total bytes of ndarray payloads contained anywhere in this value.
+    [[nodiscard]] Count payload_bytes() const;
+
+    // Python-style repr, e.g. {'x': 1, 'arr': ndarray(float64, [4, 4])}.
+    [[nodiscard]] std::string repr() const;
+
+private:
+    std::variant<std::monostate, bool, std::int64_t, double, std::string, PyList,
+                 PyDict, NdArray>
+        v_;
+};
+
+} // namespace mpicd::pysim

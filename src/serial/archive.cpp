@@ -1,0 +1,96 @@
+#include "serial/archive.hpp"
+
+#include <cstring>
+
+namespace mpicd::serial {
+
+void OArchive::put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+        put_u8(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    put_u8(static_cast<std::uint8_t>(v));
+}
+
+void OArchive::put_string(const std::string& s) {
+    put_varint(s.size());
+    append_bytes(stream_, as_bytes_of(s.data(), s.size()));
+}
+
+void OArchive::put_blob(ConstBytes data) {
+    if (policy_.enabled && static_cast<Count>(data.size()) >= policy_.threshold) {
+        put_u8(1);
+        put_varint(oob_.size());
+        put_varint(data.size());
+        oob_.push_back({data.data(), static_cast<Count>(data.size())});
+        return;
+    }
+    put_u8(0);
+    put_varint(data.size());
+    append_bytes(stream_, data);
+}
+
+Status IArchive::get_u8(std::uint8_t* v) {
+    if (pos_ >= stream_.size()) return Status::err_serialize;
+    *v = static_cast<std::uint8_t>(stream_[pos_++]);
+    return Status::success;
+}
+
+Status IArchive::get_varint(std::uint64_t* v) {
+    std::uint64_t out = 0;
+    int shift = 0;
+    while (true) {
+        std::uint8_t b = 0;
+        MPICD_RETURN_IF_ERROR(get_u8(&b));
+        out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if ((b & 0x80) == 0) break;
+        shift += 7;
+        if (shift >= 64) return Status::err_serialize;
+    }
+    *v = out;
+    return Status::success;
+}
+
+Status IArchive::get_string(std::string* s) {
+    std::uint64_t n = 0;
+    MPICD_RETURN_IF_ERROR(get_varint(&n));
+    if (pos_ + n > stream_.size()) return Status::err_serialize;
+    s->assign(reinterpret_cast<const char*>(stream_.data() + pos_),
+              static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return Status::success;
+}
+
+Status IArchive::get_raw(MutBytes dst) {
+    if (pos_ + dst.size() > stream_.size()) return Status::err_serialize;
+    std::memcpy(dst.data(), stream_.data() + pos_, dst.size());
+    pos_ += dst.size();
+    return Status::success;
+}
+
+Status IArchive::get_blob(ConstBytes* out) {
+    std::uint8_t tag = 0;
+    MPICD_RETURN_IF_ERROR(get_u8(&tag));
+    if (tag == 0) {
+        std::uint64_t n = 0;
+        MPICD_RETURN_IF_ERROR(get_varint(&n));
+        if (pos_ + n > stream_.size()) return Status::err_serialize;
+        *out = stream_.subspan(pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return Status::success;
+    }
+    if (tag == 1) {
+        std::uint64_t idx = 0, len = 0;
+        MPICD_RETURN_IF_ERROR(get_varint(&idx));
+        MPICD_RETURN_IF_ERROR(get_varint(&len));
+        if (idx >= oob_.size()) return Status::err_serialize;
+        const auto& region = oob_[idx];
+        if (static_cast<std::uint64_t>(region.len) != len) return Status::err_serialize;
+        *out = ConstBytes(static_cast<const std::byte*>(region.base),
+                          static_cast<std::size_t>(region.len));
+        return Status::success;
+    }
+    return Status::err_serialize;
+}
+
+} // namespace mpicd::serial

@@ -1,0 +1,118 @@
+// Binary archive serializer with out-of-band buffer support.
+//
+// This is the C++ "serialization library" substrate (the role Pickle /
+// Serde / Boost.Serialization play in the paper): values serialize into a
+// contiguous in-band stream, and large blobs can be exported *out-of-band*
+// as zero-copy memory regions — exactly the capability the custom datatype
+// API is designed to exploit (PEP 574-style buffers, paper §II-C).
+//
+// Wire format (in-band stream):
+//   scalars     little-endian fixed width
+//   varints     LEB128 unsigned
+//   string/vec  varint length + payload
+//   blob        tag byte: 0 = inline (varint len + bytes),
+//                         1 = out-of-band (varint region index + varint len)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/status.hpp"
+
+namespace mpicd::serial {
+
+// Policy controlling when blobs are exported out-of-band.
+struct OobPolicy {
+    bool enabled = false;
+    // Blobs of at least this many bytes go out-of-band.
+    Count threshold = 4096;
+};
+
+class OArchive {
+public:
+    explicit OArchive(OobPolicy policy = {}) : policy_(policy) {}
+
+    [[nodiscard]] const ByteVec& stream() const noexcept { return stream_; }
+    [[nodiscard]] ByteVec take_stream() noexcept { return std::move(stream_); }
+    // Zero-copy out-of-band regions, in export order. Pointers alias the
+    // caller's data and must outlive any use of the archive's output.
+    [[nodiscard]] const std::vector<ConstIovEntry>& oob() const noexcept {
+        return oob_;
+    }
+
+    void put_u8(std::uint8_t v) { stream_.push_back(static_cast<std::byte>(v)); }
+    void put_varint(std::uint64_t v);
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void put_scalar(const T& v) {
+        append_bytes(stream_, object_bytes(v));
+    }
+    void put_string(const std::string& s);
+    // A blob: inline or out-of-band per policy.
+    void put_blob(ConstBytes data);
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void put_vector(const std::vector<T>& v) {
+        put_varint(v.size());
+        append_bytes(stream_, as_bytes_of(v.data(), v.size() * sizeof(T)));
+    }
+
+private:
+    OobPolicy policy_;
+    ByteVec stream_;
+    std::vector<ConstIovEntry> oob_;
+};
+
+class IArchive {
+public:
+    // `oob` supplies the out-of-band regions referenced by the stream
+    // (already received into their destinations, or staged buffers).
+    explicit IArchive(ConstBytes stream, std::span<const ConstIovEntry> oob = {})
+        : stream_(stream), oob_(oob) {}
+
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == stream_.size(); }
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+    [[nodiscard]] Status get_u8(std::uint8_t* v);
+    [[nodiscard]] Status get_varint(std::uint64_t* v);
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    [[nodiscard]] Status get_scalar(T* v) {
+        if (pos_ + sizeof(T) > stream_.size()) return Status::err_serialize;
+        std::memcpy(v, stream_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return Status::success;
+    }
+    [[nodiscard]] Status get_string(std::string* s);
+    // Bulk copy of raw stream bytes into `dst`.
+    [[nodiscard]] Status get_raw(MutBytes dst);
+    // Reads a blob descriptor; returns a view of the bytes (into the stream
+    // for inline blobs, into the oob region for out-of-band ones).
+    [[nodiscard]] Status get_blob(ConstBytes* out);
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    [[nodiscard]] Status get_vector(std::vector<T>* v) {
+        std::uint64_t n = 0;
+        MPICD_RETURN_IF_ERROR(get_varint(&n));
+        const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(T);
+        if (pos_ + bytes > stream_.size()) return Status::err_serialize;
+        v->resize(static_cast<std::size_t>(n));
+        std::memcpy(v->data(), stream_.data() + pos_, bytes);
+        pos_ += bytes;
+        return Status::success;
+    }
+
+private:
+    ConstBytes stream_;
+    std::span<const ConstIovEntry> oob_;
+    std::size_t pos_ = 0;
+    std::size_t next_oob_check_ = 0; // indices must be referenced in order
+};
+
+} // namespace mpicd::serial

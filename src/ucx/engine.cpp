@@ -1,0 +1,234 @@
+#include "ucx/engine.hpp"
+
+#include <cstring>
+
+namespace mpicd::ucx {
+
+namespace {
+
+// Overload-set visitor helper.
+template <class... Ts>
+struct Overloaded : Ts... {
+    using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+} // namespace
+
+Status scatter_into_regions(std::span<const IovEntry> regions, Count offset,
+                            ConstBytes src) {
+    Count remaining = static_cast<Count>(src.size());
+    std::size_t src_pos = 0;
+    for (const auto& r : regions) {
+        if (remaining == 0) return Status::success;
+        if (offset >= r.len) {
+            offset -= r.len;
+            continue;
+        }
+        const Count space = r.len - offset;
+        const Count n = std::min(space, remaining);
+        std::memcpy(static_cast<std::byte*>(r.base) + offset, src.data() + src_pos,
+                    static_cast<std::size_t>(n));
+        src_pos += static_cast<std::size_t>(n);
+        remaining -= n;
+        offset = 0;
+    }
+    return remaining == 0 ? Status::success : Status::err_truncate;
+}
+
+Status gather_from_regions(std::span<const ConstIovEntry> regions, Count offset,
+                           MutBytes dst, Count* used) {
+    Count produced = 0;
+    Count want = static_cast<Count>(dst.size());
+    for (const auto& r : regions) {
+        if (want == 0) break;
+        if (offset >= r.len) {
+            offset -= r.len;
+            continue;
+        }
+        const Count avail = r.len - offset;
+        const Count n = std::min(avail, want);
+        std::memcpy(dst.data() + produced,
+                    static_cast<const std::byte*>(r.base) + offset,
+                    static_cast<std::size_t>(n));
+        produced += n;
+        want -= n;
+        offset = 0;
+    }
+    *used = produced;
+    return Status::success;
+}
+
+// ---------------------------------------------------------------------------
+// SendSource
+
+SendSource::SendSource(const BufferDesc& desc) : desc_(&desc) {
+    std::visit(
+        Overloaded{
+            [&](const ContigDesc& c) {
+                regions_.push_back({c.send_ptr, c.len});
+                total_ = c.len;
+                total_known_ = true;
+            },
+            [&](const IovDesc& iov) {
+                regions_.reserve(iov.entries.size());
+                for (const auto& e : iov.entries) {
+                    regions_.push_back({e.base, e.len});
+                    total_ += e.len;
+                }
+                total_known_ = true;
+            },
+            [&](const GenericDesc& g) {
+                generic_ = true;
+                inorder_ = g.ops.inorder;
+                init_status_ =
+                    g.ops.start_pack(g.ops.ctx, g.send_buf, g.count, &generic_state_);
+            },
+        },
+        *desc_);
+}
+
+SendSource::~SendSource() {
+    if (generic_ && generic_state_ != nullptr) {
+        const auto& g = std::get<GenericDesc>(*desc_);
+        if (g.ops.finish != nullptr) g.ops.finish(generic_state_);
+    }
+}
+
+SendSource::SendSource(SendSource&& other) noexcept
+    : desc_(other.desc_),
+      regions_(std::move(other.regions_)),
+      generic_state_(other.generic_state_),
+      generic_(other.generic_),
+      inorder_(other.inorder_),
+      init_status_(other.init_status_),
+      total_(other.total_),
+      total_known_(other.total_known_) {
+    other.generic_state_ = nullptr;
+    other.generic_ = false;
+}
+
+SendSource& SendSource::operator=(SendSource&& other) noexcept {
+    if (this != &other) {
+        this->~SendSource();
+        new (this) SendSource(std::move(other));
+    }
+    return *this;
+}
+
+Status SendSource::total_bytes(Count* out, SimTime& host_cost) {
+    if (!ok(init_status_)) return init_status_;
+    if (!total_known_) {
+        const auto& g = std::get<GenericDesc>(*desc_);
+        const ScopedMeasure measure(host_cost);
+        MPICD_RETURN_IF_ERROR(g.ops.packed_size(generic_state_, &total_));
+        total_known_ = true;
+    }
+    *out = total_;
+    return Status::success;
+}
+
+bool SendSource::exposes_memory() const noexcept { return !generic_; }
+
+Count SendSource::sg_entries() const noexcept {
+    return generic_ ? 1 : static_cast<Count>(regions_.size());
+}
+
+bool SendSource::allows_out_of_order() const noexcept {
+    return !generic_ || !inorder_;
+}
+
+Status SendSource::read(Count offset, MutBytes dst, Count* used, SimTime& host_cost) {
+    if (!ok(init_status_)) return init_status_;
+    if (generic_) {
+        const auto& g = std::get<GenericDesc>(*desc_);
+        const ScopedMeasure measure(host_cost);
+        return g.ops.pack(generic_state_, offset, dst.data(),
+                          static_cast<Count>(dst.size()), used);
+    }
+    return gather_from_regions(regions_, offset, dst, used);
+}
+
+// ---------------------------------------------------------------------------
+// RecvSink
+
+RecvSink::RecvSink(BufferDesc& desc) : desc_(&desc) {
+    std::visit(
+        Overloaded{
+            [&](ContigDesc& c) {
+                regions_.push_back({c.recv_ptr, c.len});
+                capacity_ = c.len;
+            },
+            [&](IovDesc& iov) {
+                regions_.reserve(iov.entries.size());
+                for (const auto& e : iov.entries) {
+                    regions_.push_back(e);
+                    capacity_ += e.len;
+                }
+            },
+            [&](GenericDesc& g) {
+                generic_ = true;
+                inorder_ = g.ops.inorder;
+                // The receive capacity of a generic sink is queried from
+                // its own callbacks after start_unpack; the paper requires
+                // the receive side to know the expected sizes in advance.
+                init_status_ =
+                    g.ops.start_unpack(g.ops.ctx, g.recv_buf, g.count, &generic_state_);
+                if (ok(init_status_) && g.ops.packed_size != nullptr) {
+                    init_status_ = g.ops.packed_size(generic_state_, &capacity_);
+                }
+            },
+        },
+        *desc_);
+}
+
+RecvSink::~RecvSink() {
+    if (generic_ && generic_state_ != nullptr) {
+        const auto& g = std::get<GenericDesc>(*desc_);
+        if (g.ops.finish != nullptr) g.ops.finish(generic_state_);
+    }
+}
+
+RecvSink::RecvSink(RecvSink&& other) noexcept
+    : desc_(other.desc_),
+      regions_(std::move(other.regions_)),
+      generic_state_(other.generic_state_),
+      generic_(other.generic_),
+      inorder_(other.inorder_),
+      init_status_(other.init_status_),
+      capacity_(other.capacity_) {
+    other.generic_state_ = nullptr;
+    other.generic_ = false;
+}
+
+RecvSink& RecvSink::operator=(RecvSink&& other) noexcept {
+    if (this != &other) {
+        this->~RecvSink();
+        new (this) RecvSink(std::move(other));
+    }
+    return *this;
+}
+
+bool RecvSink::exposes_memory() const noexcept { return !generic_; }
+
+Count RecvSink::sg_entries() const noexcept {
+    return generic_ ? 1 : static_cast<Count>(regions_.size());
+}
+
+bool RecvSink::allows_out_of_order() const noexcept {
+    return !generic_ || !inorder_;
+}
+
+Status RecvSink::write(Count offset, ConstBytes src, SimTime& host_cost) {
+    if (!ok(init_status_)) return init_status_;
+    if (generic_) {
+        const auto& g = std::get<GenericDesc>(*desc_);
+        const ScopedMeasure measure(host_cost);
+        return g.ops.unpack(generic_state_, offset, src.data(),
+                            static_cast<Count>(src.size()));
+    }
+    return scatter_into_regions(regions_, offset, src);
+}
+
+} // namespace mpicd::ucx

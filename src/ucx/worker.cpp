@@ -1,0 +1,636 @@
+#include "ucx/worker.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "base/log.hpp"
+
+namespace mpicd::ucx {
+
+namespace {
+
+// Packet kinds on the simulated wire.
+constexpr std::uint16_t kEager = 1;
+constexpr std::uint16_t kRts = 2;
+constexpr std::uint16_t kCts = 3;
+constexpr std::uint16_t kFin = 4;
+constexpr std::uint16_t kFrag = 5;
+
+enum class CtsMode : std::uint32_t { rdma = 1, pipeline = 2, abort = 3 };
+
+struct EagerHeader {
+    Tag tag;
+    Count total;
+};
+
+struct RtsHeader {
+    Tag tag;
+    std::uint64_t sender_op;
+    Count total;
+};
+
+struct CtsHeader {
+    std::uint64_t sender_op;
+    std::uint64_t recv_op;
+    CtsMode mode;
+    std::uint32_t nregions;
+};
+
+struct FinHeader {
+    std::uint64_t recv_op;
+    double data_vtime;
+    Count total;
+    std::int32_t status;
+};
+
+struct FragHeader {
+    std::uint64_t recv_op;
+    Count offset;
+    Count msg_total;
+    std::uint32_t last;
+};
+
+template <typename H>
+ByteVec encode_header(const H& h) {
+    ByteVec out(sizeof(H));
+    std::memcpy(out.data(), &h, sizeof(H));
+    return out;
+}
+
+template <typename H>
+H decode_header(const ByteVec& bytes) {
+    assert(bytes.size() >= sizeof(H));
+    H h;
+    std::memcpy(&h, bytes.data(), sizeof(H));
+    return h;
+}
+
+[[nodiscard]] bool tag_matches(Tag posted_tag, Tag mask, Tag incoming) noexcept {
+    return ((posted_tag ^ incoming) & mask) == 0;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Internal request / unexpected-message state
+
+struct Worker::Request {
+    enum class Kind { send, recv };
+    Kind kind = Kind::recv;
+    RequestId id = kInvalidRequest;
+    Tag tag = 0;
+    Tag mask = ~Tag{0};
+    int peer = -1;
+    BufferDesc desc;
+    std::optional<SendSource> source; // send side
+    std::optional<RecvSink> sink;     // recv side, built at match time
+    Count expected_total = 0;         // rndv recv: bytes announced in RTS
+    Count bytes_received = 0;
+    std::uint64_t op_id = 0; // rendezvous protocol id
+    bool done = false;
+    Completion comp;
+};
+
+struct Worker::Unexpected {
+    enum class Kind { eager, rts };
+    Kind kind = Kind::eager;
+    Tag tag = 0;
+    int src = -1;
+    Count total = 0;
+    ByteVec payload;            // eager only
+    std::uint64_t sender_op = 0; // rts only
+    SimTime arrival = 0.0;
+};
+
+Worker::Worker(netsim::Fabric& fabric, int endpoint)
+    : fabric_(fabric), params_(fabric.params()), ep_(endpoint) {}
+
+Worker::~Worker() = default;
+
+SimTime Worker::now() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return clock_.now();
+}
+
+void Worker::advance_time(SimTime dt) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    clock_.advance(dt);
+}
+
+RequestId Worker::alloc_request_locked() { return next_id_++; }
+
+void Worker::complete_locked(Request& rq, Status st, Count len, Tag sender_tag) {
+    if (rq.kind == Request::Kind::recv) {
+        ++stats_.recv_completions;
+        stats_.bytes_received += static_cast<std::uint64_t>(len);
+    }
+    rq.done = true;
+    rq.comp.status = st;
+    rq.comp.received_len = len;
+    rq.comp.sender_tag = sender_tag;
+    rq.comp.vtime = clock_.now();
+    // Free datatype state eagerly so user callbacks see deterministic
+    // lifetime (the paper frees the state object on operation completion).
+    rq.source.reset();
+    rq.sink.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+
+RequestId Worker::tag_send(int dst, Tag tag, BufferDesc desc) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const RequestId id = alloc_request_locked();
+    auto rq = std::make_unique<Request>();
+    rq->kind = Request::Kind::send;
+    rq->id = id;
+    rq->tag = tag;
+    rq->peer = dst;
+    rq->desc = std::move(desc);
+    requests_.emplace(id, std::move(rq));
+    start_send_locked(*requests_.at(id));
+    return id;
+}
+
+void Worker::start_send_locked(Request& rq) {
+    rq.source.emplace(rq.desc);
+    if (!ok(rq.source->init_error())) {
+        complete_locked(rq, rq.source->init_error(), 0, 0);
+        return;
+    }
+
+    Count total = 0;
+    SimTime query_cost = 0.0;
+    const Status st = rq.source->total_bytes(&total, query_cost);
+    clock_.advance(query_cost);
+    if (!ok(st)) {
+        complete_locked(rq, st, 0, 0);
+        return;
+    }
+
+    // IOV sends follow UCX's different protocol selection for
+    // UCP_DATATYPE_IOV (larger eager range; see WireParams).
+    const Count eager_limit = std::holds_alternative<IovDesc>(rq.desc)
+                                  ? params_.iov_eager_threshold
+                                  : params_.eager_threshold;
+    // UCX semantics: messages of at least the threshold go rendezvous, so
+    // the 2^15 point itself is the first rendezvous size (paper Fig. 7).
+    if (total < eager_limit) {
+        ByteVec payload(static_cast<std::size_t>(total));
+        Count used = 0;
+        SimTime pack_cost = 0.0;
+        const Status rst = rq.source->read(0, payload, &used, pack_cost);
+        clock_.advance(pack_cost);
+        if (!ok(rst) || used != total) {
+            complete_locked(rq, ok(rst) ? Status::err_pack : rst, 0, 0);
+            return;
+        }
+        netsim::Packet pkt;
+        pkt.src = ep_;
+        pkt.dst = rq.peer;
+        pkt.kind = kEager;
+        pkt.header = encode_header(EagerHeader{rq.tag, total});
+        pkt.payload = std::move(payload);
+        fabric_.transmit(std::move(pkt), clock_.now(), total, rq.source->sg_entries());
+        ++stats_.eager_sends;
+        stats_.bytes_sent += static_cast<std::uint64_t>(total);
+        complete_locked(rq, Status::success, total, 0);
+        return;
+    }
+
+    // Rendezvous: announce with RTS, wait for CTS in progress().
+    rq.op_id = next_msg_id_++;
+    rq.expected_total = total;
+    ++stats_.rndv_sends;
+    stats_.bytes_sent += static_cast<std::uint64_t>(total);
+    rndv_sends_.emplace(rq.op_id, rq.id);
+    netsim::Packet pkt;
+    pkt.src = ep_;
+    pkt.dst = rq.peer;
+    pkt.kind = kRts;
+    pkt.header = encode_header(RtsHeader{rq.tag, rq.op_id, total});
+    fabric_.transmit_control(std::move(pkt), clock_.now() + params_.rndv_ctrl_us);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+RequestId Worker::tag_recv(Tag tag, Tag mask, BufferDesc desc) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const RequestId id = alloc_request_locked();
+    auto rq_owner = std::make_unique<Request>();
+    Request& rq = *rq_owner;
+    rq.kind = Request::Kind::recv;
+    rq.id = id;
+    rq.tag = tag;
+    rq.mask = mask;
+    rq.desc = std::move(desc);
+    requests_.emplace(id, std::move(rq_owner));
+
+    // Search the unexpected queue in arrival order.
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (!tag_matches(tag, mask, it->tag)) continue;
+        Unexpected u = std::move(*it);
+        unexpected_.erase(it);
+        if (u.kind == Unexpected::Kind::eager) {
+            match_eager_locked(rq, u.tag, std::move(u.payload), u.arrival);
+        } else {
+            match_rts_locked(rq, u.tag, u.src, u.total, u.sender_op, u.arrival);
+        }
+        return id;
+    }
+    posted_recvs_.push_back(id);
+    return id;
+}
+
+void Worker::match_eager_locked(Request& rq, Tag sender_tag, ByteVec&& payload,
+                                SimTime arrival) {
+    clock_.observe(arrival);
+    rq.sink.emplace(rq.desc);
+    if (!ok(rq.sink->init_error())) {
+        complete_locked(rq, rq.sink->init_error(), 0, sender_tag);
+        return;
+    }
+    const Count len = static_cast<Count>(payload.size());
+    const Count deliver = std::min(len, rq.sink->capacity());
+    SimTime host_cost = 0.0;
+    const Status st =
+        rq.sink->write(0, ConstBytes(payload.data(), static_cast<std::size_t>(deliver)),
+                       host_cost);
+    if (rq.sink->exposes_memory()) {
+        // Bounce-buffer copy performed by the receiving CPU: modeled cost.
+        clock_.advance(params_.host_copy_time(deliver));
+    } else {
+        clock_.advance(host_cost); // measured unpack-callback time
+    }
+    if (!ok(st)) {
+        complete_locked(rq, st, deliver, sender_tag);
+        return;
+    }
+    complete_locked(rq, len > rq.sink->capacity() ? Status::err_truncate : Status::success,
+                    deliver, sender_tag);
+}
+
+void Worker::match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_len,
+                              std::uint64_t sender_op, SimTime arrival) {
+    clock_.observe(arrival);
+    rq.sink.emplace(rq.desc);
+    rq.peer = src;
+    rq.comp.sender_tag = sender_tag;
+    if (!ok(rq.sink->init_error())) {
+        complete_locked(rq, rq.sink->init_error(), 0, sender_tag);
+        // Tell the sender to abort so its request does not hang.
+        netsim::Packet pkt;
+        pkt.src = ep_;
+        pkt.dst = src;
+        pkt.kind = kCts;
+        pkt.header = encode_header(CtsHeader{sender_op, 0, CtsMode::abort, 0});
+        fabric_.transmit_control(std::move(pkt), clock_.now());
+        return;
+    }
+    if (total_len > rq.sink->capacity()) {
+        complete_locked(rq, Status::err_truncate, 0, sender_tag);
+        netsim::Packet pkt;
+        pkt.src = ep_;
+        pkt.dst = src;
+        pkt.kind = kCts;
+        pkt.header = encode_header(CtsHeader{sender_op, 0, CtsMode::abort, 0});
+        fabric_.transmit_control(std::move(pkt), clock_.now());
+        return;
+    }
+
+    rq.op_id = next_msg_id_++;
+    rq.expected_total = total_len;
+    rndv_recvs_.emplace(rq.op_id, rq.id);
+    send_cts_locked(rq, src, sender_op);
+}
+
+void Worker::send_cts_locked(Request& rq, int src, std::uint64_t sender_op) {
+    netsim::Packet pkt;
+    pkt.src = ep_;
+    pkt.dst = src;
+    pkt.kind = kCts;
+    if (rq.sink->exposes_memory()) {
+        const auto& regions = rq.sink->regions();
+        CtsHeader h{sender_op, rq.op_id, CtsMode::rdma,
+                    static_cast<std::uint32_t>(regions.size())};
+        pkt.header = encode_header(h);
+        const std::size_t old = pkt.header.size();
+        pkt.header.resize(old + regions.size() * sizeof(IovEntry));
+        std::memcpy(pkt.header.data() + old, regions.data(),
+                    regions.size() * sizeof(IovEntry));
+    } else {
+        // Pipeline mode: reuse the nregions field as a flag telling the
+        // sender whether the sink tolerates out-of-order fragments.
+        const std::uint32_t ooo_ok = rq.sink->allows_out_of_order() ? 1u : 0u;
+        pkt.header =
+            encode_header(CtsHeader{sender_op, rq.op_id, CtsMode::pipeline, ooo_ok});
+    }
+    fabric_.transmit_control(std::move(pkt), clock_.now() + params_.rndv_ctrl_us);
+}
+
+// ---------------------------------------------------------------------------
+// Progress engine
+
+bool Worker::progress() {
+    bool did_work = false;
+    while (true) {
+        auto pkt = fabric_.poll(ep_);
+        if (!pkt) break;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        handle_packet_locked(std::move(*pkt));
+        did_work = true;
+    }
+    return did_work;
+}
+
+void Worker::handle_packet_locked(netsim::Packet&& pkt) {
+    switch (pkt.kind) {
+        case kEager: handle_eager_locked(std::move(pkt)); break;
+        case kRts: handle_rts_locked(std::move(pkt)); break;
+        case kCts: handle_cts_locked(std::move(pkt)); break;
+        case kFin: handle_fin_locked(std::move(pkt)); break;
+        case kFrag: handle_frag_locked(std::move(pkt)); break;
+        default:
+            MPICD_LOG_ERROR("unknown packet kind " << pkt.kind);
+            break;
+    }
+}
+
+Worker::Request* Worker::find_posted_locked(Tag tag) {
+    for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+        auto& rq = *requests_.at(*it);
+        if (tag_matches(rq.tag, rq.mask, tag)) {
+            posted_recvs_.erase(it);
+            return &rq;
+        }
+    }
+    return nullptr;
+}
+
+void Worker::handle_eager_locked(netsim::Packet&& pkt) {
+    const auto h = decode_header<EagerHeader>(pkt.header);
+    if (Request* rq = find_posted_locked(h.tag)) {
+        match_eager_locked(*rq, h.tag, std::move(pkt.payload), pkt.arrival);
+        return;
+    }
+    Unexpected u;
+    u.kind = Unexpected::Kind::eager;
+    u.tag = h.tag;
+    u.src = pkt.src;
+    u.total = h.total;
+    u.payload = std::move(pkt.payload);
+    u.arrival = pkt.arrival;
+    ++stats_.unexpected_msgs;
+    unexpected_.push_back(std::move(u));
+}
+
+void Worker::handle_rts_locked(netsim::Packet&& pkt) {
+    const auto h = decode_header<RtsHeader>(pkt.header);
+    if (Request* rq = find_posted_locked(h.tag)) {
+        match_rts_locked(*rq, h.tag, pkt.src, h.total, h.sender_op, pkt.arrival);
+        return;
+    }
+    Unexpected u;
+    u.kind = Unexpected::Kind::rts;
+    u.tag = h.tag;
+    u.src = pkt.src;
+    u.total = h.total;
+    u.sender_op = h.sender_op;
+    u.arrival = pkt.arrival;
+    ++stats_.unexpected_msgs;
+    unexpected_.push_back(std::move(u));
+}
+
+void Worker::handle_cts_locked(netsim::Packet&& pkt) {
+    clock_.observe(pkt.arrival);
+    const auto h = decode_header<CtsHeader>(pkt.header);
+    const auto it = rndv_sends_.find(h.sender_op);
+    if (it == rndv_sends_.end()) {
+        MPICD_LOG_ERROR("CTS for unknown sender op " << h.sender_op);
+        return;
+    }
+    Request& rq = *requests_.at(it->second);
+    rndv_sends_.erase(it);
+
+    if (h.mode == CtsMode::abort) {
+        complete_locked(rq, Status::err_truncate, 0, 0);
+        return;
+    }
+
+    const Count total = rq.expected_total;
+    const Count frag_size = params_.rndv_frag_size;
+    Status st = Status::success;
+
+    if (h.mode == CtsMode::rdma) {
+        // Zero-copy path: write straight into the receiver's exposed
+        // regions; cost is pure wire time (link-serialized), no bounce.
+        std::vector<IovEntry> recv_regions(h.nregions);
+        std::memcpy(recv_regions.data(), pkt.header.data() + sizeof(CtsHeader),
+                    h.nregions * sizeof(IovEntry));
+        ByteVec bounce(static_cast<std::size_t>(std::min(total, frag_size)));
+        Count offset = 0;
+        SimTime data_done = clock_.now();
+        const Count sg =
+            std::max(rq.source->sg_entries(), static_cast<Count>(h.nregions));
+        bool first = true;
+        while (offset < total && ok(st)) {
+            const Count want = std::min(frag_size, total - offset);
+            Count used = 0;
+            SimTime pack_cost = 0.0;
+            st = rq.source->read(offset, MutBytes(bounce.data(), static_cast<std::size_t>(want)),
+                                 &used, pack_cost);
+            clock_.advance(pack_cost);
+            if (ok(st) && used == 0) st = Status::err_pack;
+            if (!ok(st)) break;
+            st = scatter_into_regions(recv_regions, offset,
+                                      ConstBytes(bounce.data(), static_cast<std::size_t>(used)));
+            if (!ok(st)) break;
+            data_done = fabric_.rdma_cost(ep_, rq.peer, used, first ? sg : 1,
+                                          clock_.now() + params_.frag_overhead_us);
+            offset += used;
+            first = false;
+        }
+        netsim::Packet fin;
+        fin.src = ep_;
+        fin.dst = rq.peer;
+        fin.kind = kFin;
+        fin.header = encode_header(
+            FinHeader{h.recv_op, data_done, offset, static_cast<std::int32_t>(st)});
+        fabric_.transmit_control(std::move(fin), data_done);
+        ++stats_.rndv_rdma;
+        complete_locked(rq, st, offset, 0);
+        return;
+    }
+
+    // Pipelined fragment path (receive side is a generic datatype).
+    // When BOTH datatypes tolerate out-of-order fragments (inorder=false),
+    // fragments stripe across the fabric's rails — the optimization the
+    // paper's inorder flag would inhibit (Listing 2 discussion).
+    const bool stripe = rq.source->allows_out_of_order() && h.nregions != 0 &&
+                        params_.rails > 1;
+    Count offset = 0;
+    int frag_idx = 0;
+    while (offset < total && ok(st)) {
+        const Count want = std::min(frag_size, total - offset);
+        ByteVec frag(static_cast<std::size_t>(want));
+        Count used = 0;
+        SimTime pack_cost = 0.0;
+        st = rq.source->read(offset, frag, &used, pack_cost);
+        clock_.advance(pack_cost);
+        if (ok(st) && used == 0) st = Status::err_pack;
+        if (!ok(st)) break;
+        frag.resize(static_cast<std::size_t>(used));
+        const bool last = offset + used >= total;
+        netsim::Packet fp;
+        fp.src = ep_;
+        fp.dst = rq.peer;
+        fp.kind = kFrag;
+        fp.header = encode_header(FragHeader{h.recv_op, offset, total, last ? 1u : 0u});
+        fp.payload = std::move(frag);
+        fabric_.transmit(std::move(fp), clock_.now() + params_.frag_overhead_us, used,
+                         rq.source->sg_entries(),
+                         stripe ? frag_idx % params_.rails : 0);
+        offset += used;
+        ++frag_idx;
+    }
+    if (!ok(st)) {
+        // Tell the receiver the stream is broken.
+        netsim::Packet fp;
+        fp.src = ep_;
+        fp.dst = rq.peer;
+        fp.kind = kFin;
+        fp.header = encode_header(
+            FinHeader{h.recv_op, clock_.now(), offset, static_cast<std::int32_t>(st)});
+        fabric_.transmit_control(std::move(fp), clock_.now());
+    }
+    ++stats_.rndv_pipeline;
+    complete_locked(rq, st, offset, 0);
+}
+
+void Worker::handle_fin_locked(netsim::Packet&& pkt) {
+    clock_.observe(pkt.arrival);
+    const auto h = decode_header<FinHeader>(pkt.header);
+    const auto it = rndv_recvs_.find(h.recv_op);
+    if (it == rndv_recvs_.end()) return;
+    Request& rq = *requests_.at(it->second);
+    rndv_recvs_.erase(it);
+    clock_.observe(h.data_vtime);
+    complete_locked(rq, static_cast<Status>(h.status), h.total, rq.comp.sender_tag);
+}
+
+void Worker::handle_frag_locked(netsim::Packet&& pkt) {
+    clock_.observe(pkt.arrival);
+    const auto h = decode_header<FragHeader>(pkt.header);
+    const auto it = rndv_recvs_.find(h.recv_op);
+    if (it == rndv_recvs_.end()) return;
+    Request& rq = *requests_.at(it->second);
+
+    SimTime host_cost = 0.0;
+    const Status st = rq.sink->write(h.offset, pkt.payload, host_cost);
+    if (rq.sink->exposes_memory()) {
+        clock_.advance(params_.host_copy_time(static_cast<Count>(pkt.payload.size())));
+    } else {
+        clock_.advance(host_cost);
+    }
+    rq.bytes_received += static_cast<Count>(pkt.payload.size());
+    if (!ok(st)) {
+        rndv_recvs_.erase(h.recv_op);
+        complete_locked(rq, st, rq.bytes_received, rq.comp.sender_tag);
+        return;
+    }
+    if (h.last != 0 || rq.bytes_received >= rq.expected_total) {
+        rndv_recvs_.erase(h.recv_op);
+        complete_locked(rq, Status::success, rq.bytes_received, rq.comp.sender_tag);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completion / probe API
+
+bool Worker::is_complete(RequestId id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = requests_.find(id);
+    return it != requests_.end() && it->second->done;
+}
+
+Completion Worker::take_completion(RequestId id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = requests_.find(id);
+    assert(it != requests_.end() && it->second->done);
+    const Completion comp = it->second->comp;
+    requests_.erase(it);
+    return comp;
+}
+
+bool Worker::cancel_recv(RequestId id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+        if (*it == id) {
+            posted_recvs_.erase(it);
+            requests_.erase(id);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<ProbeInfo> Worker::probe(Tag tag, Tag mask) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& u : unexpected_) {
+        if (tag_matches(tag, mask, u.tag)) {
+            return ProbeInfo{u.tag, u.total, u.src};
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<MessageHandle> Worker::mprobe(Tag tag, Tag mask) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (!tag_matches(tag, mask, it->tag)) continue;
+        MessageHandle handle;
+        handle.id = next_msg_id_++;
+        handle.info = ProbeInfo{it->tag, it->total, it->src};
+        mprobed_.emplace(handle.id, std::move(*it));
+        unexpected_.erase(it);
+        return handle;
+    }
+    return std::nullopt;
+}
+
+RequestId Worker::imrecv(const MessageHandle& handle, BufferDesc desc) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = mprobed_.find(handle.id);
+    if (it == mprobed_.end()) return kInvalidRequest;
+    Unexpected u = std::move(it->second);
+    mprobed_.erase(it);
+
+    const RequestId id = alloc_request_locked();
+    auto rq_owner = std::make_unique<Request>();
+    Request& rq = *rq_owner;
+    rq.kind = Request::Kind::recv;
+    rq.id = id;
+    rq.tag = u.tag;
+    rq.desc = std::move(desc);
+    requests_.emplace(id, std::move(rq_owner));
+    if (u.kind == Unexpected::Kind::eager) {
+        match_eager_locked(rq, u.tag, std::move(u.payload), u.arrival);
+    } else {
+        match_rts_locked(rq, u.tag, u.src, u.total, u.sender_op, u.arrival);
+    }
+    return id;
+}
+
+WorkerStats Worker::stats() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+bool Worker::idle() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return requests_.empty() && unexpected_.empty() && mprobed_.empty() &&
+           rndv_sends_.empty() && rndv_recvs_.empty() && posted_recvs_.empty();
+}
+
+} // namespace mpicd::ucx

@@ -1,0 +1,172 @@
+// Worker: UCP-like tagged communication endpoint over the simulated fabric.
+//
+// Protocols, chosen per message exactly as the paper describes for its
+// UCX-based prototype:
+//  - eager   (payload <= eager_threshold): single packet; receive side pays
+//    a host bounce-buffer copy (or the generic unpack callback).
+//  - rendezvous (payload > threshold): RTS -> CTS handshake, then either
+//      * zero-copy RDMA when the receive side exposes raw memory
+//        (CONTIG / IOV descriptors) — the data never touches a bounce
+//        buffer, matching UCX's get/put-based rendezvous, or
+//      * a pipelined fragment protocol when either side is GENERIC
+//        (pack/unpack callbacks are invoked per fragment with virtual
+//        offsets, exactly the paper's Listing 4 contract).
+// Messages with multiple memory regions use scatter-gather descriptors and
+// pay a per-entry NIC cost (UCP_DATATYPE_IOV equivalent).
+//
+// Thread-safety: each worker has one mutex; different workers may be
+// progressed concurrently from different rank threads, and the fabric is
+// itself thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/status.hpp"
+#include "base/time.hpp"
+#include "netsim/fabric.hpp"
+#include "ucx/datatype.hpp"
+#include "ucx/engine.hpp"
+
+namespace mpicd::ucx {
+
+using RequestId = std::uint64_t;
+constexpr RequestId kInvalidRequest = 0;
+
+// Tag type: full 64 bits; the p2p layer encodes (context, source, user tag).
+using Tag = std::uint64_t;
+
+struct Completion {
+    Status status = Status::success;
+    Count received_len = 0; // bytes that arrived (recv side)
+    Tag sender_tag = 0;
+    SimTime vtime = 0.0; // virtual completion time
+};
+
+struct ProbeInfo {
+    Tag tag = 0;
+    Count total_len = 0;
+    int src = -1;
+};
+
+// Per-worker protocol counters (diagnostics; used by tests to assert which
+// protocol path a transfer took).
+struct WorkerStats {
+    std::uint64_t eager_sends = 0;
+    std::uint64_t rndv_sends = 0;
+    std::uint64_t rndv_rdma = 0;     // zero-copy rendezvous completions (send side)
+    std::uint64_t rndv_pipeline = 0; // pipelined rendezvous completions (send side)
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t unexpected_msgs = 0; // messages queued before a recv matched
+    std::uint64_t recv_completions = 0;
+};
+
+// Handle returned by mprobe(): the matched message is removed from the
+// matching queues and can only be received via imrecv().
+struct MessageHandle {
+    std::uint64_t id = 0;
+    ProbeInfo info;
+    [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
+class Worker {
+public:
+    Worker(netsim::Fabric& fabric, int endpoint);
+    ~Worker();
+    Worker(const Worker&) = delete;
+    Worker& operator=(const Worker&) = delete;
+
+    [[nodiscard]] int endpoint() const noexcept { return ep_; }
+    [[nodiscard]] netsim::Fabric& fabric() noexcept { return fabric_; }
+
+    // Virtual clock access (thread-safe).
+    [[nodiscard]] SimTime now();
+    void advance_time(SimTime dt);
+
+    // Nonblocking tagged send/recv. The BufferDesc is taken by value and
+    // owned by the request until completion.
+    RequestId tag_send(int dst, Tag tag, BufferDesc desc);
+    RequestId tag_recv(Tag tag, Tag mask, BufferDesc desc);
+
+    // Drain the endpoint inbox and advance protocol state machines.
+    // Returns true if any packet was processed.
+    bool progress();
+
+    [[nodiscard]] bool is_complete(RequestId id);
+    // Retrieve (and erase) the completion record of a finished request.
+    [[nodiscard]] Completion take_completion(RequestId id);
+
+    // Cancel a pending (unmatched) receive request; returns false if the
+    // request already matched a message or completed.
+    bool cancel_recv(RequestId id);
+
+    // Non-destructive probe of the unexpected queue.
+    [[nodiscard]] std::optional<ProbeInfo> probe(Tag tag, Tag mask);
+    // Matched probe: removes the message from matching (MPI_Mprobe model).
+    [[nodiscard]] std::optional<MessageHandle> mprobe(Tag tag, Tag mask);
+    // Receive a previously mprobe()d message.
+    RequestId imrecv(const MessageHandle& handle, BufferDesc desc);
+
+    // True when no requests, unexpected messages or protocol state remain.
+    [[nodiscard]] bool idle();
+
+    // Snapshot of the protocol counters.
+    [[nodiscard]] WorkerStats stats();
+
+private:
+    struct Request;
+    struct Unexpected;
+    struct PendingSend;
+
+    RequestId alloc_request_locked();
+    void complete_locked(Request& rq, Status st, Count len, Tag sender_tag);
+
+    void start_send_locked(Request& rq);
+    void handle_packet_locked(netsim::Packet&& pkt);
+    void handle_eager_locked(netsim::Packet&& pkt);
+    void handle_rts_locked(netsim::Packet&& pkt);
+    void handle_cts_locked(netsim::Packet&& pkt);
+    void handle_fin_locked(netsim::Packet&& pkt);
+    void handle_frag_locked(netsim::Packet&& pkt);
+
+    // Deliver a matched eager payload / RTS to a posted receive request.
+    void match_eager_locked(Request& rq, Tag sender_tag, ByteVec&& payload,
+                            SimTime arrival);
+    void match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_len,
+                          std::uint64_t sender_op, SimTime arrival);
+
+    Request* find_posted_locked(Tag tag);
+    void send_cts_locked(Request& rq, int src, std::uint64_t sender_op);
+
+    netsim::Fabric& fabric_;
+    const netsim::WireParams& params_;
+    int ep_;
+
+    std::mutex mutex_;
+    netsim::VirtualClock clock_;
+    RequestId next_id_ = 1;
+    std::uint64_t next_msg_id_ = 1;
+
+    std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
+    // Posted-but-unmatched receives, in post order.
+    std::deque<RequestId> posted_recvs_;
+    // Unexpected messages, in arrival order.
+    std::deque<Unexpected> unexpected_;
+    // Matched-by-mprobe messages awaiting imrecv.
+    std::unordered_map<std::uint64_t, Unexpected> mprobed_;
+    // Sender-side rendezvous operations waiting for CTS, by sender op id.
+    std::unordered_map<std::uint64_t, RequestId> rndv_sends_;
+    // Receiver-side operations waiting for FIN/fragments, by receiver op id.
+    std::unordered_map<std::uint64_t, RequestId> rndv_recvs_;
+
+    WorkerStats stats_;
+};
+
+} // namespace mpicd::ucx

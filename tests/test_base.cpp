@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "base/bytes.hpp"
+#include "base/config.hpp"
+#include "base/stats.hpp"
+#include "base/status.hpp"
+#include "base/time.hpp"
+
+namespace mpicd {
+namespace {
+
+TEST(Status, EveryCodeHasAMessage) {
+    for (int i = 0; i <= static_cast<int>(Status::err_serialize); ++i) {
+        EXPECT_STRNE(to_cstring(static_cast<Status>(i)), "unknown status");
+    }
+}
+
+TEST(Status, OkOnlyForSuccess) {
+    EXPECT_TRUE(ok(Status::success));
+    EXPECT_FALSE(ok(Status::err_arg));
+    EXPECT_FALSE(ok(Status::err_truncate));
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+    auto inner = [](Status s) -> Status {
+        MPICD_RETURN_IF_ERROR(s);
+        return Status::success;
+    };
+    EXPECT_EQ(inner(Status::success), Status::success);
+    EXPECT_EQ(inner(Status::err_pack), Status::err_pack);
+}
+
+TEST(Bytes, AlignUp) {
+    EXPECT_EQ(align_up(0, 8), 0u);
+    EXPECT_EQ(align_up(1, 8), 8u);
+    EXPECT_EQ(align_up(8, 8), 8u);
+    EXPECT_EQ(align_up(9, 8), 16u);
+    EXPECT_EQ(align_up(15, 4), 16u);
+}
+
+TEST(Bytes, IovTotal) {
+    int a = 0, b = 0;
+    const IovEntry entries[] = {{&a, 4}, {&b, 4}, {nullptr, 0}};
+    EXPECT_EQ(iov_total(std::span<const IovEntry>(entries)), 8);
+    EXPECT_EQ(iov_total(std::span<const IovEntry>{}), 0);
+}
+
+TEST(Bytes, ObjectBytesViewsRepresentation) {
+    const std::uint32_t v = 0x01020304;
+    const auto bytes = object_bytes(v);
+    ASSERT_EQ(bytes.size(), 4u);
+    std::uint32_t back = 0;
+    std::memcpy(&back, bytes.data(), 4);
+    EXPECT_EQ(back, v);
+}
+
+TEST(Config, MissingVariableIsNullopt) {
+    unsetenv("MPICD_TEST_UNSET_VAR");
+    EXPECT_FALSE(env_double("MPICD_TEST_UNSET_VAR").has_value());
+    EXPECT_FALSE(env_int("MPICD_TEST_UNSET_VAR").has_value());
+    EXPECT_FALSE(env_string("MPICD_TEST_UNSET_VAR").has_value());
+}
+
+TEST(Config, ParsesValues) {
+    setenv("MPICD_TEST_VAR", "3.5", 1);
+    EXPECT_DOUBLE_EQ(env_double("MPICD_TEST_VAR").value(), 3.5);
+    setenv("MPICD_TEST_VAR", "42", 1);
+    EXPECT_EQ(env_int("MPICD_TEST_VAR").value(), 42);
+    EXPECT_EQ(env_string("MPICD_TEST_VAR").value(), "42");
+    unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Config, FallbacksApply) {
+    unsetenv("MPICD_TEST_VAR");
+    EXPECT_DOUBLE_EQ(env_double_or("MPICD_TEST_VAR", 7.0), 7.0);
+    EXPECT_EQ(env_int_or("MPICD_TEST_VAR", -3), -3);
+    setenv("MPICD_TEST_VAR", "2", 1);
+    EXPECT_EQ(env_int_or("MPICD_TEST_VAR", -3), 2);
+    unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Config, GarbageIsNullopt) {
+    setenv("MPICD_TEST_VAR", "notanumber", 1);
+    EXPECT_FALSE(env_double("MPICD_TEST_VAR").has_value());
+    EXPECT_FALSE(env_int("MPICD_TEST_VAR").has_value());
+    unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Stats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, MeanMinMax) {
+    RunningStats s;
+    for (const double v : {4.0, 2.0, 6.0}) s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(Stats, SingleSampleHasNoDeviation) {
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, ResetClears) {
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Time, HostTimerIsMonotonic) {
+    HostTimer t;
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+    EXPECT_GE(t.elapsed_us(), 0.0);
+}
+
+TEST(Time, ScopedMeasureAccumulates) {
+    SimTime acc = 0.0;
+    {
+        const ScopedMeasure m(acc);
+        volatile double sink = 0;
+        for (int i = 0; i < 10000; ++i) sink = sink + i;
+    }
+    EXPECT_GT(acc, 0.0);
+    const SimTime first = acc;
+    {
+        const ScopedMeasure m(acc);
+    }
+    EXPECT_GE(acc, first);
+}
+
+} // namespace
+} // namespace mpicd

@@ -1,0 +1,159 @@
+// Tests for the collectives extension (the paper's §VIII future work).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/builtin_serialize.hpp"
+#include "p2p/collectives.hpp"
+#include "p2p/runner.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::p2p {
+namespace {
+
+class CollectiveWorld : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveWorld, BarrierCompletesEverywhere) {
+    const int n = GetParam();
+    std::atomic<int> done{0};
+    run_world(n, [&](Communicator& comm) {
+        EXPECT_EQ(barrier(comm), Status::success);
+        EXPECT_EQ(barrier(comm, 0x500), Status::success); // back-to-back
+        ++done;
+    }, test::test_params());
+    EXPECT_EQ(done.load(), n);
+}
+
+TEST_P(CollectiveWorld, BcastBytesFromEveryRoot) {
+    const int n = GetParam();
+    for (int root = 0; root < n; ++root) {
+        std::atomic<int> correct{0};
+        run_world(n, [&](Communicator& comm) {
+            ByteVec buf(4096);
+            if (comm.rank() == root) buf = test::pattern_bytes(4096, 42);
+            ASSERT_EQ(bcast_bytes(comm, buf.data(), 4096, root), Status::success);
+            if (buf == test::pattern_bytes(4096, 42)) ++correct;
+        }, test::test_params());
+        EXPECT_EQ(correct.load(), n) << "root=" << root;
+    }
+}
+
+TEST_P(CollectiveWorld, BcastLargeGoesRendezvous) {
+    const int n = GetParam();
+    std::atomic<int> correct{0};
+    const std::size_t big = 256 * 1024;
+    run_world(n, [&](Communicator& comm) {
+        ByteVec buf(big);
+        if (comm.rank() == 0) buf = test::pattern_bytes(big, 7);
+        ASSERT_EQ(bcast_bytes(comm, buf.data(), Count(big), 0), Status::success);
+        if (buf == test::pattern_bytes(big, 7)) ++correct;
+    }, test::test_params());
+    EXPECT_EQ(correct.load(), n);
+}
+
+TEST_P(CollectiveWorld, BcastDerivedDatatype) {
+    const int n = GetParam();
+    auto t = dt::Datatype::vector(64, 1, 2, dt::type_double());
+    ASSERT_EQ(t->commit(), Status::success);
+    std::atomic<int> correct{0};
+    run_world(n, [&](Communicator& comm) {
+        std::vector<double> grid(128, 0.0);
+        if (comm.rank() == 0) {
+            for (int i = 0; i < 128; i += 2) grid[static_cast<std::size_t>(i)] = i;
+        }
+        ASSERT_EQ(bcast(comm, grid.data(), 1, t, 0), Status::success);
+        bool good = true;
+        for (int i = 0; i < 128; ++i) {
+            const double expect = i % 2 == 0 ? i : 0.0;
+            if (grid[static_cast<std::size_t>(i)] != expect) good = false;
+        }
+        if (good) ++correct;
+    }, test::test_params());
+    EXPECT_EQ(correct.load(), n);
+}
+
+TEST_P(CollectiveWorld, BcastCustomDatatype) {
+    const int n = GetParam();
+    using Sub = std::vector<std::int32_t>;
+    std::atomic<int> correct{0};
+    run_world(n, [&](Communicator& comm) {
+        std::vector<Sub> obj(3);
+        for (std::size_t i = 0; i < 3; ++i) obj[i].resize(200 * (i + 1));
+        if (comm.rank() == 1) {
+            for (std::size_t i = 0; i < 3; ++i) {
+                std::iota(obj[i].begin(), obj[i].end(), int(i) * 1000);
+            }
+        }
+        ASSERT_EQ(bcast_custom(comm, obj.data(), 3, core::custom_datatype_of<Sub>(),
+                               /*root=*/1),
+                  Status::success);
+        bool good = true;
+        for (std::size_t i = 0; i < 3; ++i) {
+            if (obj[i][0] != int(i) * 1000 || obj[i].back() !=
+                int(i) * 1000 + static_cast<int>(obj[i].size()) - 1)
+                good = false;
+        }
+        if (good) ++correct;
+    }, test::test_params());
+    EXPECT_EQ(correct.load(), n);
+}
+
+TEST_P(CollectiveWorld, GatherBytesAssemblesBlocks) {
+    const int n = GetParam();
+    std::atomic<bool> root_ok{false};
+    run_world(n, [&](Communicator& comm) {
+        std::int32_t mine = comm.rank() * 11;
+        std::vector<std::int32_t> all(static_cast<std::size_t>(n), -1);
+        ASSERT_EQ(gather_bytes(comm, &mine, 4,
+                               comm.rank() == 0 ? all.data() : nullptr, 0),
+                  Status::success);
+        if (comm.rank() == 0) {
+            bool good = true;
+            for (int i = 0; i < n; ++i) {
+                if (all[static_cast<std::size_t>(i)] != i * 11) good = false;
+            }
+            root_ok = good;
+        }
+    }, test::test_params());
+    EXPECT_TRUE(root_ok.load());
+}
+
+TEST_P(CollectiveWorld, AllreduceSumDoubles) {
+    const int n = GetParam();
+    std::atomic<int> correct{0};
+    run_world(n, [&](Communicator& comm) {
+        double vals[3] = {1.0 * comm.rank(), 2.0, -1.0 * comm.rank()};
+        ASSERT_EQ(allreduce(comm, vals, 3, ReduceOp::sum), Status::success);
+        const double ranksum = n * (n - 1) / 2.0;
+        if (vals[0] == ranksum && vals[1] == 2.0 * n && vals[2] == -ranksum)
+            ++correct;
+    }, test::test_params());
+    EXPECT_EQ(correct.load(), n);
+}
+
+TEST_P(CollectiveWorld, AllreduceMinMaxInt64) {
+    const int n = GetParam();
+    std::atomic<int> correct{0};
+    run_world(n, [&](Communicator& comm) {
+        std::int64_t mn = 100 + comm.rank();
+        std::int64_t mx = 100 + comm.rank();
+        ASSERT_EQ(allreduce(comm, &mn, 1, ReduceOp::min), Status::success);
+        ASSERT_EQ(allreduce(comm, &mx, 1, ReduceOp::max), Status::success);
+        if (mn == 100 && mx == 100 + n - 1) ++correct;
+    }, test::test_params());
+    EXPECT_EQ(correct.load(), n);
+}
+
+// Power-of-two and straggler world sizes.
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveWorld, ::testing::Values(2, 3, 4, 5, 8));
+
+TEST(Collectives, BcastUncommittedTypeRejected) {
+    run_world(2, [&](Communicator& comm) {
+        auto t = dt::Datatype::contiguous(4, dt::type_int32()); // not committed
+        std::int32_t buf[4] = {};
+        EXPECT_EQ(bcast(comm, buf, 1, t, 0), Status::err_not_committed);
+    }, test::test_params());
+}
+
+} // namespace
+} // namespace mpicd::p2p

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dt/convertor.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::dt {
+namespace {
+
+// Struct-with-gap matching the paper's struct-simple layout.
+struct Gapped {
+    std::int32_t a, b, c;
+    double d;
+};
+
+TypeRef gapped_type() {
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto s = Datatype::struct_(blocklens, displs, types);
+    auto r = Datatype::resized(s, 0, 24);
+    (void)r->commit();
+    return r;
+}
+
+TEST(Convertor, ContiguousPackIsIdentity) {
+    auto t = Datatype::contiguous(8, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    auto data = test::iota_vec<std::int32_t>(8);
+    ByteVec out(32);
+    Count used = 0;
+    ASSERT_EQ(Convertor::pack_all(t, data.data(), 1, out, &used), Status::success);
+    EXPECT_EQ(used, 32);
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), 32), 0);
+}
+
+TEST(Convertor, GappedStructPacksFields) {
+    auto t = gapped_type();
+    Gapped g{1, 2, 3, 4.5};
+    ByteVec out(20);
+    Count used = 0;
+    ASSERT_EQ(Convertor::pack_all(t, &g, 1, out, &used), Status::success);
+    ASSERT_EQ(used, 20);
+    std::int32_t abc[3];
+    double d = 0;
+    std::memcpy(abc, out.data(), 12);
+    std::memcpy(&d, out.data() + 12, 8);
+    EXPECT_EQ(abc[0], 1);
+    EXPECT_EQ(abc[2], 3);
+    EXPECT_DOUBLE_EQ(d, 4.5);
+}
+
+TEST(Convertor, RoundTripMultipleElements) {
+    auto t = gapped_type();
+    std::vector<Gapped> src(10), dst(10);
+    for (int i = 0; i < 10; ++i) src[static_cast<std::size_t>(i)] = {i, i + 1, i + 2, i * 0.5};
+    ByteVec packed(200);
+    Count used = 0;
+    ASSERT_EQ(Convertor::pack_all(t, src.data(), 10, packed, &used), Status::success);
+    ASSERT_EQ(used, 200);
+    ASSERT_EQ(Convertor::unpack_all(t, dst.data(), 10, packed), Status::success);
+    for (int i = 0; i < 10; ++i) {
+        const auto& s = src[static_cast<std::size_t>(i)];
+        const auto& d = dst[static_cast<std::size_t>(i)];
+        EXPECT_EQ(s.a, d.a);
+        EXPECT_EQ(s.b, d.b);
+        EXPECT_EQ(s.c, d.c);
+        EXPECT_DOUBLE_EQ(s.d, d.d);
+    }
+}
+
+TEST(Convertor, PartialPackAcrossFragments) {
+    auto t = gapped_type();
+    std::vector<Gapped> src(4);
+    for (int i = 0; i < 4; ++i) src[static_cast<std::size_t>(i)] = {i, 10 + i, 20 + i, i * 1.5};
+    ByteVec whole(80);
+    Count used = 0;
+    ASSERT_EQ(Convertor::pack_all(t, src.data(), 4, whole, &used), Status::success);
+
+    // Pack again in odd-sized fragments; streams must agree.
+    Convertor cv(t, src.data(), 4);
+    ByteVec stream;
+    ByteVec frag(7);
+    while (!cv.finished()) {
+        Count got = 0;
+        ASSERT_EQ(cv.pack(frag, &got), Status::success);
+        stream.insert(stream.end(), frag.begin(), frag.begin() + got);
+    }
+    EXPECT_EQ(stream, whole);
+}
+
+TEST(Convertor, PartialUnpackAcrossFragments) {
+    auto t = gapped_type();
+    std::vector<Gapped> src(4), dst(4);
+    for (int i = 0; i < 4; ++i) src[static_cast<std::size_t>(i)] = {i, -i, i * 3, i * 0.25};
+    ByteVec packed(80);
+    Count used = 0;
+    ASSERT_EQ(Convertor::pack_all(t, src.data(), 4, packed, &used), Status::success);
+
+    Convertor cv(t, dst.data(), 4);
+    std::size_t pos = 0;
+    const std::size_t frag = 13;
+    while (pos < packed.size()) {
+        const std::size_t n = std::min(frag, packed.size() - pos);
+        ASSERT_EQ(cv.unpack(ConstBytes(packed.data() + pos, n)), Status::success);
+        pos += n;
+    }
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(src[static_cast<std::size_t>(i)].a, dst[static_cast<std::size_t>(i)].a);
+        EXPECT_DOUBLE_EQ(src[static_cast<std::size_t>(i)].d,
+                         dst[static_cast<std::size_t>(i)].d);
+    }
+}
+
+TEST(Convertor, SeekRandomAccess) {
+    auto t = gapped_type();
+    std::vector<Gapped> src(8);
+    for (int i = 0; i < 8; ++i) src[static_cast<std::size_t>(i)] = {i, i, i, double(i)};
+    ByteVec whole(160);
+    Count used = 0;
+    ASSERT_EQ(Convertor::pack_all(t, src.data(), 8, whole, &used), Status::success);
+
+    Convertor cv(t, src.data(), 8);
+    // Read bytes [50, 90) via seek.
+    cv.seek(50);
+    EXPECT_EQ(cv.position(), 50);
+    ByteVec part(40);
+    ASSERT_EQ(cv.pack(part, &used), Status::success);
+    ASSERT_EQ(used, 40);
+    EXPECT_EQ(std::memcmp(part.data(), whole.data() + 50, 40), 0);
+}
+
+TEST(Convertor, SeekClampsOutOfRange) {
+    auto t = gapped_type();
+    Gapped g{};
+    Convertor cv(t, &g, 1);
+    cv.seek(-5);
+    EXPECT_EQ(cv.position(), 0);
+    cv.seek(1000);
+    EXPECT_EQ(cv.position(), 20);
+    EXPECT_TRUE(cv.finished());
+}
+
+TEST(Convertor, PackShortReadAtEnd) {
+    auto t = Datatype::contiguous(3, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    auto data = test::iota_vec<std::int32_t>(3);
+    Convertor cv(t, data.data(), 1);
+    ByteVec big(100);
+    Count used = 0;
+    ASSERT_EQ(cv.pack(big, &used), Status::success);
+    EXPECT_EQ(used, 12);
+    EXPECT_TRUE(cv.finished());
+    // Further packs produce nothing.
+    ASSERT_EQ(cv.pack(big, &used), Status::success);
+    EXPECT_EQ(used, 0);
+}
+
+TEST(Convertor, UnpackOverflowIsError) {
+    auto t = Datatype::contiguous(2, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    std::int32_t buf[2] = {};
+    Convertor cv(t, buf, 1);
+    ByteVec too_much(12);
+    EXPECT_EQ(cv.unpack(too_much), Status::err_truncate);
+}
+
+TEST(Convertor, PackAllChecksDstSize) {
+    auto t = Datatype::contiguous(4, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    std::int32_t buf[4] = {};
+    ByteVec small(8);
+    Count used = 0;
+    EXPECT_EQ(Convertor::pack_all(t, buf, 1, small, &used), Status::err_truncate);
+}
+
+TEST(Convertor, UncommittedTypeRejected) {
+    auto t = Datatype::contiguous(4, type_int32()); // not committed
+    std::int32_t buf[4] = {};
+    ByteVec out(16);
+    Count used = 0;
+    EXPECT_EQ(Convertor::pack_all(t, buf, 1, out, &used), Status::err_not_committed);
+    EXPECT_EQ(Convertor::unpack_all(t, buf, 1, out), Status::err_not_committed);
+}
+
+TEST(Convertor, VectorTypeRoundTrip) {
+    // Columns of a 6x8 int matrix.
+    auto col = Datatype::vector(6, 1, 8, type_int32());
+    ASSERT_EQ(col->commit(), Status::success);
+    auto mat = test::iota_vec<std::int32_t>(48);
+    ByteVec packed(24);
+    Count used = 0;
+    ASSERT_EQ(Convertor::pack_all(col, mat.data() + 3, 1, packed, &used),
+              Status::success);
+    for (int r = 0; r < 6; ++r) {
+        std::int32_t v = 0;
+        std::memcpy(&v, packed.data() + r * 4, 4);
+        EXPECT_EQ(v, r * 8 + 3);
+    }
+    std::vector<std::int32_t> out(48, 0);
+    ASSERT_EQ(Convertor::unpack_all(col, out.data() + 3, 1, packed), Status::success);
+    for (int r = 0; r < 6; ++r)
+        EXPECT_EQ(out[static_cast<std::size_t>(r * 8 + 3)], r * 8 + 3);
+}
+
+TEST(Convertor, ZeroSizeType) {
+    auto t = Datatype::contiguous(0, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    Convertor cv(t, nullptr, 5);
+    EXPECT_EQ(cv.total_packed(), 0);
+    EXPECT_TRUE(cv.finished());
+}
+
+} // namespace
+} // namespace mpicd::dt

@@ -1,0 +1,149 @@
+// Parameterized tests over every DDTBench kernel: all four transfer
+// strategies must deliver identical data.
+#include <gtest/gtest.h>
+
+#include "ddtbench/kernel.hpp"
+#include "p2p/universe.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::ddtbench {
+namespace {
+
+class KernelTest : public ::testing::TestWithParam<std::string> {
+protected:
+    void SetUp() override {
+        send_ = make_kernel(GetParam());
+        recv_ = make_kernel(GetParam());
+        ASSERT_NE(send_, nullptr);
+        ASSERT_NE(recv_, nullptr);
+        send_->resize(96 * 1024);
+        recv_->resize(96 * 1024);
+        send_->fill(3);
+        recv_->clear();
+        ASSERT_EQ(send_->payload_bytes(), recv_->payload_bytes());
+    }
+
+    std::unique_ptr<Kernel> send_, recv_;
+};
+
+TEST_P(KernelTest, TableInfoIsPopulated) {
+    const auto info = send_->info();
+    EXPECT_EQ(info.name, GetParam());
+    EXPECT_FALSE(info.mpi_datatypes.empty());
+    EXPECT_FALSE(info.loop_structure.empty());
+}
+
+TEST_P(KernelTest, ResizeTracksTarget) {
+    for (const Count target : {Count(4096), Count(1 << 20)}) {
+        send_->resize(target);
+        // Within a factor of two of the request (granularity allowed).
+        EXPECT_GE(send_->payload_bytes(), target / 2);
+        EXPECT_LE(send_->payload_bytes(), target * 2);
+    }
+}
+
+TEST_P(KernelTest, ManualPackUnpackRoundTrip) {
+    ByteVec buf(static_cast<std::size_t>(send_->payload_bytes()));
+    send_->manual_pack(buf.data());
+    recv_->manual_unpack(buf.data());
+    EXPECT_TRUE(recv_->verify(*send_));
+}
+
+TEST_P(KernelTest, FreshReceiverDoesNotVerify) {
+    // Guards against a vacuous verify().
+    EXPECT_FALSE(recv_->verify(*send_));
+}
+
+TEST_P(KernelTest, DatatypeMatchesManualPackSize) {
+    const auto t = send_->datatype();
+    ASSERT_NE(t, nullptr);
+    ASSERT_TRUE(t->committed());
+    EXPECT_EQ(t->size() * send_->dt_count(), send_->payload_bytes());
+}
+
+TEST_P(KernelTest, DerivedDatatypeTransfer) {
+    p2p::Universe uni(2, test::test_params());
+    auto rr = uni.comm(1).irecv(recv_->dt_buffer(), recv_->dt_count(),
+                                recv_->datatype(), 0, 1);
+    auto rs = uni.comm(0).isend(send_->dt_buffer(), send_->dt_count(),
+                                send_->datatype(), 1, 1);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_TRUE(recv_->verify(*send_));
+}
+
+TEST_P(KernelTest, CustomPackTransfer) {
+    p2p::Universe uni(2, test::test_params());
+    const auto& type = kernel_pack_type();
+    auto rr = uni.comm(1).irecv_custom(recv_.get(), 1, type, 0, 1);
+    auto rs = uni.comm(0).isend_custom(send_.get(), 1, type, 1, 1);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.status, Status::success);
+    EXPECT_EQ(st.bytes, send_->payload_bytes());
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_TRUE(recv_->verify(*send_));
+}
+
+TEST_P(KernelTest, CustomRegionTransferWhereSupported) {
+    if (send_->region_count() == 0) {
+        GTEST_SKIP() << "regions impracticable for " << GetParam();
+    }
+    p2p::Universe uni(2, test::test_params());
+    const auto& type = kernel_region_type();
+    auto rr = uni.comm(1).irecv_custom(recv_.get(), 1, type, 0, 1);
+    auto rs = uni.comm(0).isend_custom(send_.get(), 1, type, 1, 1);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_TRUE(recv_->verify(*send_));
+}
+
+TEST_P(KernelTest, RegionFlagMatchesTableI) {
+    EXPECT_EQ(send_->info().memory_regions, send_->region_count() > 0);
+}
+
+TEST_P(KernelTest, RegionsCoverPayload) {
+    const Count n = send_->region_count();
+    if (n == 0) GTEST_SKIP();
+    std::vector<IovEntry> entries(static_cast<std::size_t>(n));
+    send_->regions(entries.data());
+    EXPECT_EQ(iov_total(entries), send_->payload_bytes());
+}
+
+TEST_P(KernelTest, LargeProblemRendezvousTransfer) {
+    send_->resize(2 * 1024 * 1024);
+    recv_->resize(2 * 1024 * 1024);
+    send_->fill(9);
+    recv_->clear();
+    p2p::Universe uni(2, test::test_params());
+    const auto& type = kernel_pack_type();
+    auto rr = uni.comm(1).irecv_custom(recv_.get(), 1, type, 0, 1);
+    auto rs = uni.comm(0).isend_custom(send_.get(), 1, type, 1, 1);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_TRUE(recv_->verify(*send_));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTest, ::testing::ValuesIn(kernel_names()),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             for (auto& c : name)
+                                 if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                             return name;
+                         });
+
+TEST(KernelRegistry, UnknownNameReturnsNull) {
+    EXPECT_EQ(make_kernel("nope"), nullptr);
+}
+
+TEST(KernelRegistry, NamesMatchTableI) {
+    const auto names = kernel_names();
+    EXPECT_EQ(names.size(), 8u);
+    for (const auto& n : names) {
+        auto k = make_kernel(n);
+        ASSERT_NE(k, nullptr) << n;
+        EXPECT_EQ(k->info().name, n);
+    }
+}
+
+} // namespace
+} // namespace mpicd::ddtbench

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "dt/datatype.hpp"
+
+namespace mpicd::dt {
+namespace {
+
+TEST(Predefined, SizesAndNames) {
+    EXPECT_EQ(predef_size(Predef::int32), 4u);
+    EXPECT_EQ(predef_size(Predef::float64), 8u);
+    EXPECT_EQ(predef_size(Predef::byte_), 1u);
+    EXPECT_STREQ(predef_name(Predef::float64), "double");
+}
+
+TEST(Predefined, SingletonsAreCommitted) {
+    EXPECT_TRUE(type_int32()->committed());
+    EXPECT_TRUE(type_double()->committed());
+    EXPECT_EQ(type_int32()->size(), 4);
+    EXPECT_EQ(type_double()->extent(), 8);
+    EXPECT_TRUE(type_byte()->is_contiguous());
+}
+
+TEST(Contiguous, Properties) {
+    auto t = Datatype::contiguous(10, type_int32());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 40);
+    EXPECT_EQ(t->extent(), 40);
+    EXPECT_EQ(t->lb(), 0);
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_TRUE(t->is_contiguous());
+    EXPECT_EQ(t->segments().size(), 1u);
+}
+
+TEST(Contiguous, ZeroCount) {
+    auto t = Datatype::contiguous(0, type_int32());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 0);
+    EXPECT_EQ(t->extent(), 0);
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_TRUE(t->is_contiguous());
+}
+
+TEST(Contiguous, NegativeCountRejected) {
+    EXPECT_EQ(Datatype::contiguous(-1, type_int32()), nullptr);
+    EXPECT_EQ(Datatype::contiguous(1, nullptr), nullptr);
+}
+
+TEST(Vector, StridedSegments) {
+    // 3 blocks of 2 ints, stride 4 ints.
+    auto t = Datatype::vector(3, 2, 4, type_int32());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 24);
+    EXPECT_EQ(t->extent(), (2 * 4 + 2) * 4); // last block ends at elem 10
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_FALSE(t->is_contiguous());
+    ASSERT_EQ(t->segments().size(), 3u);
+    EXPECT_EQ(t->segments()[0].offset, 0);
+    EXPECT_EQ(t->segments()[0].len, 8);
+    EXPECT_EQ(t->segments()[1].offset, 16);
+    EXPECT_EQ(t->segments()[2].offset, 32);
+}
+
+TEST(Vector, UnitStrideCollapsesToContiguous) {
+    auto t = Datatype::vector(4, 1, 1, type_double());
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_TRUE(t->is_contiguous());
+    EXPECT_EQ(t->segments().size(), 1u);
+    EXPECT_EQ(t->segments()[0].len, 32);
+}
+
+TEST(Vector, NegativeStride) {
+    auto t = Datatype::vector(2, 1, -2, type_int32());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->lb(), -8);
+    EXPECT_EQ(t->extent(), 12);
+    ASSERT_EQ(t->commit(), Status::success);
+    ASSERT_EQ(t->segments().size(), 2u);
+    EXPECT_EQ(t->segments()[0].offset, 0);
+    EXPECT_EQ(t->segments()[1].offset, -8);
+}
+
+TEST(Hvector, ByteStride) {
+    auto t = Datatype::hvector(2, 1, 10, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    ASSERT_EQ(t->segments().size(), 2u);
+    EXPECT_EQ(t->segments()[1].offset, 10);
+    EXPECT_EQ(t->size(), 8);
+    EXPECT_EQ(t->extent(), 14);
+}
+
+TEST(Indexed, BlocksAndSize) {
+    const Count blocklens[] = {2, 1, 3};
+    const Count displs[] = {0, 5, 10};
+    auto t = Datatype::indexed(blocklens, displs, type_int32());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 24);
+    ASSERT_EQ(t->commit(), Status::success);
+    ASSERT_EQ(t->segments().size(), 3u);
+    EXPECT_EQ(t->segments()[1].offset, 20);
+    EXPECT_EQ(t->segments()[2].len, 12);
+}
+
+TEST(Indexed, MismatchedSpansRejected) {
+    const Count blocklens[] = {1, 2};
+    const Count displs[] = {0};
+    EXPECT_EQ(Datatype::indexed(blocklens, displs, type_int32()), nullptr);
+}
+
+TEST(Indexed, NegativeBlocklenRejected) {
+    const Count blocklens[] = {-1};
+    const Count displs[] = {0};
+    EXPECT_EQ(Datatype::indexed(blocklens, displs, type_int32()), nullptr);
+}
+
+TEST(Hindexed, ByteDisplacements) {
+    const Count blocklens[] = {1, 1};
+    const Count displs[] = {0, 6};
+    auto t = Datatype::hindexed(blocklens, displs, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    ASSERT_EQ(t->segments().size(), 2u);
+    EXPECT_EQ(t->segments()[1].offset, 6);
+}
+
+TEST(IndexedBlock, FixedBlocklen) {
+    const Count displs[] = {0, 3, 6};
+    auto t = Datatype::indexed_block(2, displs, type_double());
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_EQ(t->size(), 48);
+    EXPECT_EQ(t->segments().size(), 3u);
+}
+
+TEST(Struct, GapProducesTwoSegments) {
+    // { int32 a,b,c; <4B gap>; double d; } — the paper's struct-simple.
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto t = Datatype::struct_(blocklens, displs, types);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 20);
+    EXPECT_EQ(t->extent(), 24);
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_FALSE(t->is_contiguous());
+    ASSERT_EQ(t->segments().size(), 2u);
+    EXPECT_EQ(t->segments()[0].len, 12);
+    EXPECT_EQ(t->segments()[1].offset, 16);
+    EXPECT_EQ(t->segments()[1].len, 8);
+}
+
+TEST(Struct, NoGapIsContiguousAfterMerge) {
+    // { int32 a,b; double c; } packs into one run — but extent (16) equals
+    // size (16), so the committed type is contiguous.
+    const Count blocklens[] = {2, 1};
+    const Count displs[] = {0, 8};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto t = Datatype::struct_(blocklens, displs, types);
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_TRUE(t->is_contiguous());
+    EXPECT_EQ(t->segments().size(), 1u);
+}
+
+TEST(Struct, ZeroBlocklenFieldIgnoredInFootprint) {
+    const Count blocklens[] = {0, 1};
+    const Count displs[] = {100, 0};
+    const TypeRef types[] = {type_double(), type_int32()};
+    auto t = Datatype::struct_(blocklens, displs, types);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 4);
+    EXPECT_EQ(t->extent(), 4);
+}
+
+TEST(Resized, OverridesExtent) {
+    auto base = Datatype::contiguous(3, type_int32());
+    auto t = Datatype::resized(base, 0, 32);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 12);
+    EXPECT_EQ(t->extent(), 32);
+    EXPECT_EQ(t->true_extent(), 12);
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_FALSE(t->is_contiguous()); // padding breaks multi-element runs
+}
+
+TEST(Subarray, SelectsRegion2D) {
+    // 4x6 int array, select rows 1..2, cols 2..4 (C order).
+    const Count sizes[] = {4, 6};
+    const Count subsizes[] = {2, 3};
+    const Count starts[] = {1, 2};
+    auto t = Datatype::subarray(sizes, subsizes, starts, type_int32());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 24);
+    EXPECT_EQ(t->extent(), 4 * 6 * 4);
+    ASSERT_EQ(t->commit(), Status::success);
+    ASSERT_EQ(t->segments().size(), 2u); // one run per selected row
+    EXPECT_EQ(t->segments()[0].offset, (1 * 6 + 2) * 4);
+    EXPECT_EQ(t->segments()[0].len, 12);
+    EXPECT_EQ(t->segments()[1].offset, (2 * 6 + 2) * 4);
+}
+
+TEST(Subarray, FullSelectionIsContiguous) {
+    const Count sizes[] = {3, 4};
+    const Count subsizes[] = {3, 4};
+    const Count starts[] = {0, 0};
+    auto t = Datatype::subarray(sizes, subsizes, starts, type_double());
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_TRUE(t->is_contiguous());
+}
+
+TEST(Subarray, OutOfBoundsRejected) {
+    const Count sizes[] = {4};
+    const Count subsizes[] = {3};
+    const Count starts[] = {2}; // 2+3 > 4
+    EXPECT_EQ(Datatype::subarray(sizes, subsizes, starts, type_int32()), nullptr);
+}
+
+TEST(Subarray, EmptySelection) {
+    const Count sizes[] = {4, 4};
+    const Count subsizes[] = {0, 4};
+    const Count starts[] = {0, 0};
+    auto t = Datatype::subarray(sizes, subsizes, starts, type_int32());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->size(), 0);
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_TRUE(t->segments().empty());
+}
+
+TEST(Nested, VectorOfStructWithGap) {
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto s = Datatype::struct_(blocklens, displs, types);
+    auto rs = Datatype::resized(s, 0, 24);
+    auto v = Datatype::vector(2, 1, 2, rs);
+    ASSERT_EQ(v->commit(), Status::success);
+    EXPECT_EQ(v->size(), 40);
+    ASSERT_EQ(v->segments().size(), 4u); // 2 segments per element, 2 elements
+    EXPECT_EQ(v->segments()[2].offset, 48);
+}
+
+TEST(Commit, Idempotent) {
+    auto t = Datatype::contiguous(5, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    const auto segs = t->segments();
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_EQ(t->segments().size(), segs.size());
+}
+
+TEST(Commit, PackedPrefixMatchesSize) {
+    const Count blocklens[] = {2, 1, 3};
+    const Count displs[] = {0, 5, 10};
+    auto t = Datatype::indexed(blocklens, displs, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_EQ(t->packed_prefix().back(), t->size());
+    EXPECT_EQ(t->packed_prefix().front(), 0);
+}
+
+TEST(Name, DescribesStructure) {
+    auto t = Datatype::vector(2, 1, 2, type_int32());
+    EXPECT_EQ(t->name(), "vector(int32)");
+    EXPECT_EQ(type_double()->name(), "double");
+}
+
+} // namespace
+} // namespace mpicd::dt

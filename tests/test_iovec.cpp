@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "dt/iovec.hpp"
+
+namespace mpicd::dt {
+namespace {
+
+TEST(Iovec, ContiguousTypeOneRegion) {
+    auto t = Datatype::contiguous(16, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    std::int32_t buf[64];
+    std::vector<ConstIovEntry> out;
+    ASSERT_EQ(extract_regions(t, buf, 4, out), Status::success);
+    ASSERT_EQ(out.size(), 1u); // elements merge end-to-end
+    EXPECT_EQ(out[0].base, buf);
+    EXPECT_EQ(out[0].len, 256);
+    EXPECT_EQ(region_count(t, 4), 1);
+}
+
+TEST(Iovec, StridedVectorRegions) {
+    auto t = Datatype::vector(4, 2, 5, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    std::int32_t buf[32];
+    std::vector<ConstIovEntry> out;
+    ASSERT_EQ(extract_regions(t, buf, 1, out), Status::success);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[1].base, buf + 5);
+    EXPECT_EQ(out[1].len, 8);
+}
+
+TEST(Iovec, GappedStructTwoRegionsPerElement) {
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto s = Datatype::struct_(blocklens, displs, types);
+    auto t = Datatype::resized(s, 0, 24);
+    ASSERT_EQ(t->commit(), Status::success);
+    alignas(8) std::byte buf[72];
+    std::vector<ConstIovEntry> out;
+    ASSERT_EQ(extract_regions(t, buf, 3, out), Status::success);
+    // Element i's trailing double [16,24) abuts element i+1's leading ints
+    // at [24,36): those runs merge, so 3 elements x 2 segments collapse to 4.
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(region_count(t, 3), 4);
+    EXPECT_EQ(out[0].len, 12);  // first element's ints, before the gap
+    EXPECT_EQ(out[1].len, 20);  // double + next element's ints
+}
+
+TEST(Iovec, MutableOverloadMatches) {
+    auto t = Datatype::vector(3, 1, 2, type_double());
+    ASSERT_EQ(t->commit(), Status::success);
+    double buf[8];
+    std::vector<IovEntry> out;
+    ASSERT_EQ(extract_regions(t, buf, 1, out), Status::success);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[2].base, buf + 4);
+}
+
+TEST(Iovec, UncommittedRejected) {
+    auto t = Datatype::contiguous(4, type_int32());
+    std::int32_t buf[4];
+    std::vector<ConstIovEntry> out;
+    EXPECT_EQ(extract_regions(t, buf, 1, out), Status::err_not_committed);
+}
+
+TEST(Iovec, RegionCountCrossElementMerge) {
+    // vector(2,1,2): the extent (12 B) ends exactly where the last segment
+    // ends, so the next element's first segment is adjacent and merges:
+    // 3 elements x 2 segments -> 4 regions.
+    auto t = Datatype::vector(2, 1, 2, type_int32());
+    ASSERT_EQ(t->commit(), Status::success);
+    EXPECT_EQ(region_count(t, 3), 4);
+    std::int32_t buf[12];
+    std::vector<ConstIovEntry> out;
+    ASSERT_EQ(extract_regions(t, buf, 3, out), Status::success);
+    EXPECT_EQ(static_cast<Count>(out.size()), region_count(t, 3));
+    // Contiguous: full merge.
+    auto c = Datatype::contiguous(2, type_int32());
+    ASSERT_EQ(c->commit(), Status::success);
+    EXPECT_EQ(region_count(c, 5), 1);
+    EXPECT_EQ(region_count(c, 0), 0);
+}
+
+} // namespace
+} // namespace mpicd::dt

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "netsim/fabric.hpp"
+#include "netsim/wire_model.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::netsim {
+namespace {
+
+WireParams simple_params() {
+    WireParams p;
+    p.latency_us = 1.0;
+    p.bandwidth_Bpus = 1000.0; // 1 B/ns for easy arithmetic
+    p.sg_entry_us = 0.5;
+    return p;
+}
+
+TEST(WireModel, SerializeTime) {
+    const auto p = simple_params();
+    EXPECT_DOUBLE_EQ(p.serialize_time(0), 0.0);
+    EXPECT_DOUBLE_EQ(p.serialize_time(1000), 1.0);
+    EXPECT_DOUBLE_EQ(p.serialize_time(2500), 2.5);
+}
+
+TEST(WireModel, SgOverheadChargesEntriesBeyondFirst) {
+    const auto p = simple_params();
+    EXPECT_DOUBLE_EQ(p.sg_overhead(0), 0.0);
+    EXPECT_DOUBLE_EQ(p.sg_overhead(1), 0.0);
+    EXPECT_DOUBLE_EQ(p.sg_overhead(3), 1.0);
+}
+
+TEST(WireModel, EnvOverrides) {
+    setenv("MPICD_LATENCY_US", "9.5", 1);
+    setenv("MPICD_EAGER_THRESHOLD", "1234", 1);
+    const auto p = WireParams::from_env();
+    EXPECT_DOUBLE_EQ(p.latency_us, 9.5);
+    EXPECT_EQ(p.eager_threshold, 1234);
+    unsetenv("MPICD_LATENCY_US");
+    unsetenv("MPICD_EAGER_THRESHOLD");
+}
+
+TEST(VirtualClock, AdvanceAndObserve) {
+    VirtualClock c;
+    EXPECT_DOUBLE_EQ(c.now(), 0.0);
+    c.advance(2.0);
+    EXPECT_DOUBLE_EQ(c.now(), 2.0);
+    c.observe(1.0); // earlier time does not move the clock backwards
+    EXPECT_DOUBLE_EQ(c.now(), 2.0);
+    c.observe(5.0);
+    EXPECT_DOUBLE_EQ(c.now(), 5.0);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(Fabric, DeliversPacketWithPayload) {
+    Fabric f(2, simple_params());
+    Packet pkt;
+    pkt.src = 0;
+    pkt.dst = 1;
+    pkt.kind = 7;
+    pkt.payload = test::pattern_bytes(100);
+    const ByteVec expected = pkt.payload;
+    const SimTime arrival = f.transmit(std::move(pkt), 0.0, 100);
+    // 100 bytes at 1000 B/us + 1 us latency.
+    EXPECT_DOUBLE_EQ(arrival, 0.1 + 1.0);
+    auto got = f.poll(1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->kind, 7);
+    EXPECT_EQ(got->payload, expected);
+    EXPECT_DOUBLE_EQ(got->arrival, arrival);
+    EXPECT_FALSE(f.poll(1).has_value());
+}
+
+TEST(Fabric, LinkSerializationQueuesBackToBack) {
+    Fabric f(2, simple_params());
+    Packet a, b;
+    a.src = b.src = 0;
+    a.dst = b.dst = 1;
+    const SimTime t1 = f.transmit(std::move(a), 0.0, 1000);
+    const SimTime t2 = f.transmit(std::move(b), 0.0, 1000);
+    // Second packet waits for the first to finish serializing.
+    EXPECT_DOUBLE_EQ(t1, 1.0 + 1.0);
+    EXPECT_DOUBLE_EQ(t2, 2.0 + 1.0);
+}
+
+TEST(Fabric, IndependentLinksDoNotContend) {
+    Fabric f(3, simple_params());
+    Packet a, b;
+    a.src = 0;
+    a.dst = 1;
+    b.src = 2;
+    b.dst = 1;
+    const SimTime t1 = f.transmit(std::move(a), 0.0, 1000);
+    const SimTime t2 = f.transmit(std::move(b), 0.0, 1000);
+    EXPECT_DOUBLE_EQ(t1, t2); // distinct links, same timing
+}
+
+TEST(Fabric, SgEntriesDelayStart) {
+    Fabric f(2, simple_params());
+    Packet a;
+    a.src = 0;
+    a.dst = 1;
+    const SimTime t = f.transmit(std::move(a), 0.0, 1000, /*sg_entries=*/3);
+    EXPECT_DOUBLE_EQ(t, 1.0 /*sg*/ + 1.0 /*wire*/ + 1.0 /*latency*/);
+}
+
+TEST(Fabric, ControlPacketsAreLatencyOnly) {
+    Fabric f(2, simple_params());
+    Packet a;
+    a.src = 0;
+    a.dst = 1;
+    const SimTime t = f.transmit_control(std::move(a), 3.0);
+    EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+TEST(Fabric, RdmaWriteMovesDataAndCharges) {
+    Fabric f(2, simple_params());
+    const ByteVec src = test::pattern_bytes(500);
+    ByteVec dst(500);
+    const SimTime t = f.rdma_write(0, 1, src.data(), dst.data(), 500, 0.0);
+    EXPECT_EQ(src, dst);
+    EXPECT_DOUBLE_EQ(t, 0.5 + 1.0);
+}
+
+TEST(Fabric, RdmaSharesLinkWithPackets) {
+    Fabric f(2, simple_params());
+    Packet a;
+    a.src = 0;
+    a.dst = 1;
+    (void)f.transmit(std::move(a), 0.0, 1000); // link busy until t=1.0
+    const SimTime t = f.rdma_cost(0, 1, 1000, 1, 0.0);
+    EXPECT_DOUBLE_EQ(t, 1.0 + 1.0 + 1.0); // starts after the packet
+}
+
+TEST(Fabric, FifoOrderPerLink) {
+    Fabric f(2, simple_params());
+    for (int i = 0; i < 5; ++i) {
+        Packet p;
+        p.src = 0;
+        p.dst = 1;
+        p.kind = static_cast<std::uint16_t>(i);
+        (void)f.transmit(std::move(p), 0.0, 10);
+    }
+    for (int i = 0; i < 5; ++i) {
+        auto got = f.poll(1);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->kind, i);
+    }
+}
+
+TEST(Fabric, ResetTimeClearsLinkState) {
+    Fabric f(2, simple_params());
+    Packet a;
+    a.src = 0;
+    a.dst = 1;
+    (void)f.transmit(std::move(a), 0.0, 100000);
+    (void)f.poll(1);
+    f.reset_time();
+    Packet b;
+    b.src = 0;
+    b.dst = 1;
+    const SimTime t = f.transmit(std::move(b), 0.0, 1000);
+    EXPECT_DOUBLE_EQ(t, 2.0);
+    (void)f.poll(1);
+}
+
+TEST(Fabric, InboxEmptyReflectsState) {
+    Fabric f(2, simple_params());
+    EXPECT_TRUE(f.inbox_empty(1));
+    Packet a;
+    a.src = 0;
+    a.dst = 1;
+    (void)f.transmit(std::move(a), 0.0, 1);
+    EXPECT_FALSE(f.inbox_empty(1));
+    (void)f.poll(1);
+    EXPECT_TRUE(f.inbox_empty(1));
+}
+
+} // namespace
+} // namespace mpicd::netsim

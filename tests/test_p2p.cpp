@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "p2p/runner.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::p2p {
+namespace {
+
+struct P2P : ::testing::Test {
+    P2P() : uni(2, test::test_params()) {}
+    Universe uni;
+};
+
+TEST_F(P2P, BytesRoundTrip) {
+    const ByteVec src = test::pattern_bytes(512);
+    ByteVec dst(512);
+    auto rr = uni.comm(1).irecv_bytes(dst.data(), 512, 0, 7);
+    auto rs = uni.comm(0).isend_bytes(src.data(), 512, 1, 7);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.status, Status::success);
+    EXPECT_EQ(st.source, 0);
+    EXPECT_EQ(st.tag, 7);
+    EXPECT_EQ(st.bytes, 512);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_EQ(src, dst);
+}
+
+TEST_F(P2P, SourceFilteringInThreeRankWorld) {
+    Universe uni3(3, test::test_params());
+    std::int32_t v1 = 111, v2 = 222, got = 0;
+    // Rank 2 wants a message specifically from rank 1.
+    auto rs1 = uni3.comm(0).isend_bytes(&v1, 4, 2, 5);
+    auto rs2 = uni3.comm(1).isend_bytes(&v2, 4, 2, 5);
+    auto rr = uni3.comm(2).irecv_bytes(&got, 4, /*src=*/1, 5);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.source, 1);
+    EXPECT_EQ(got, 222);
+    (void)rs1.wait();
+    (void)rs2.wait();
+    // Drain the rank-0 message too.
+    auto rr2 = uni3.comm(2).irecv_bytes(&got, 4, 0, 5);
+    EXPECT_EQ(rr2.wait().source, 0);
+    EXPECT_EQ(got, 111);
+}
+
+TEST_F(P2P, AnySourceAnyTag) {
+    std::int32_t v = 321, got = 0;
+    auto rs = uni.comm(0).isend_bytes(&v, 4, 1, 1234);
+    auto rr = uni.comm(1).irecv_bytes(&got, 4, kAnySource, kAnyTag);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.source, 0);
+    EXPECT_EQ(st.tag, 1234);
+    EXPECT_EQ(got, 321);
+    (void)rs.wait();
+}
+
+TEST_F(P2P, TagSelectivity) {
+    std::int32_t a = 1, b = 2, got_a = 0, got_b = 0;
+    auto s1 = uni.comm(0).isend_bytes(&a, 4, 1, 10);
+    auto s2 = uni.comm(0).isend_bytes(&b, 4, 1, 20);
+    // Receive tag 20 first even though tag 10 arrived earlier.
+    auto r2 = uni.comm(1).irecv_bytes(&got_b, 4, 0, 20);
+    EXPECT_EQ(r2.wait().tag, 20);
+    EXPECT_EQ(got_b, 2);
+    auto r1 = uni.comm(1).irecv_bytes(&got_a, 4, 0, 10);
+    EXPECT_EQ(r1.wait().tag, 10);
+    EXPECT_EQ(got_a, 1);
+    (void)s1.wait();
+    (void)s2.wait();
+}
+
+TEST_F(P2P, DerivedDatatypeGappedStructTransfersFieldsOnly) {
+    struct Gapped {
+        std::int32_t a, b, c;
+        double d;
+    };
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const dt::TypeRef types[] = {dt::type_int32(), dt::type_double()};
+    auto s = dt::Datatype::struct_(blocklens, displs, types);
+    auto t = dt::Datatype::resized(s, 0, 24);
+    ASSERT_EQ(t->commit(), Status::success);
+
+    std::vector<Gapped> send(64), recv(64);
+    for (int i = 0; i < 64; ++i)
+        send[static_cast<std::size_t>(i)] = {i, i + 1, i + 2, i * 2.0};
+    auto rr = uni.comm(1).irecv(recv.data(), 64, t, 0, 3);
+    auto rs = uni.comm(0).isend(send.data(), 64, t, 1, 3);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.status, Status::success);
+    EXPECT_EQ(st.bytes, 64 * 20); // the gap never hits the wire
+    EXPECT_EQ(rs.wait().status, Status::success);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(i)].a, i);
+        EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)].d, i * 2.0);
+    }
+}
+
+TEST_F(P2P, DerivedContiguousUsesZeroCopyPath) {
+    auto t = dt::Datatype::contiguous(1024, dt::type_double());
+    ASSERT_EQ(t->commit(), Status::success);
+    std::vector<double> send(1024), recv(1024);
+    for (int i = 0; i < 1024; ++i) send[static_cast<std::size_t>(i)] = i * 0.5;
+    auto rr = uni.comm(1).irecv(recv.data(), 1, t, 0, 1);
+    auto rs = uni.comm(0).isend(send.data(), 1, t, 1, 1);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_EQ(send, recv);
+}
+
+TEST_F(P2P, DerivedDatatypeRendezvous) {
+    // Non-contiguous type big enough for the pipelined rendezvous path.
+    auto col = dt::Datatype::vector(64 * 1024, 1, 2, dt::type_double());
+    ASSERT_EQ(col->commit(), Status::success);
+    std::vector<double> send(2 * 64 * 1024), recv(2 * 64 * 1024, 0.0);
+    for (std::size_t i = 0; i < send.size(); ++i) send[i] = static_cast<double>(i);
+    auto rr = uni.comm(1).irecv(recv.data(), 1, col, 0, 1);
+    auto rs = uni.comm(0).isend(send.data(), 1, col, 1, 1);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    for (std::size_t i = 0; i < recv.size(); ++i) {
+        if (i % 2 == 0) {
+            EXPECT_EQ(recv[i], static_cast<double>(i)) << i;
+        } else {
+            EXPECT_EQ(recv[i], 0.0) << i; // strided holes untouched
+        }
+    }
+}
+
+TEST_F(P2P, UncommittedDatatypeRejected) {
+    auto t = dt::Datatype::contiguous(4, dt::type_int32()); // no commit
+    std::int32_t buf[4] = {};
+    auto rq = uni.comm(0).isend(buf, 1, t, 1, 0);
+    EXPECT_EQ(rq.wait().status, Status::err_not_committed);
+}
+
+TEST_F(P2P, InvalidDestinationRejected) {
+    std::int32_t v = 0;
+    auto rq = uni.comm(0).isend_bytes(&v, 4, 7, 0);
+    EXPECT_EQ(rq.wait().status, Status::err_arg);
+}
+
+TEST_F(P2P, ProbeThenRecv) {
+    const ByteVec src = test::pattern_bytes(96);
+    auto rs = uni.comm(0).isend_bytes(src.data(), 96, 1, 33);
+    const auto info = uni.comm(1).probe(0, 33);
+    EXPECT_EQ(info.bytes, 96);
+    EXPECT_EQ(info.source, 0);
+    ByteVec dst(static_cast<std::size_t>(info.bytes));
+    auto rr = uni.comm(1).irecv_bytes(dst.data(), info.bytes, info.source, info.tag);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    EXPECT_EQ(src, dst);
+    (void)rs.wait();
+}
+
+TEST_F(P2P, IprobeReturnsNulloptWhenNothingPending) {
+    EXPECT_FALSE(uni.comm(1).iprobe(0, 5).has_value());
+}
+
+TEST_F(P2P, MprobeImrecvFlow) {
+    const ByteVec src = test::pattern_bytes(70);
+    auto rs = uni.comm(0).isend_bytes(src.data(), 70, 1, 8);
+    auto msg = uni.comm(1).mprobe(0, 8);
+    ASSERT_TRUE(msg.valid());
+    EXPECT_EQ(msg.info.bytes, 70);
+    // The matched message is invisible to further probes.
+    EXPECT_FALSE(uni.comm(1).iprobe(0, 8).has_value());
+    ByteVec dst(70);
+    auto rr = uni.comm(1).imrecv(msg, dst.data(), 70);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    EXPECT_EQ(src, dst);
+    (void)rs.wait();
+}
+
+TEST_F(P2P, VirtualTimePingPongSymmetry) {
+    // One ping-pong: both clocks should advance by comparable amounts and
+    // include at least two wire latencies at the originating rank.
+    const auto params = test::test_params();
+    ByteVec buf(1024), tmp(1024);
+    auto r1 = uni.comm(1).irecv_bytes(tmp.data(), 1024, 0, 1);
+    auto s1 = uni.comm(0).isend_bytes(buf.data(), 1024, 1, 1);
+    (void)r1.wait();
+    (void)s1.wait();
+    auto r2 = uni.comm(0).irecv_bytes(buf.data(), 1024, 1, 2);
+    auto s2 = uni.comm(1).isend_bytes(tmp.data(), 1024, 0, 2);
+    const auto st = r2.wait();
+    (void)s2.wait();
+    EXPECT_GE(st.vtime, 2 * params.latency_us);
+}
+
+TEST_F(P2P, AdvanceTimeChargesTheClock) {
+    const SimTime before = uni.comm(0).now();
+    uni.comm(0).advance_time(12.5);
+    EXPECT_DOUBLE_EQ(uni.comm(0).now(), before + 12.5);
+}
+
+TEST(P2PThreaded, RunWorldPingPong) {
+    std::atomic<int> checks{0};
+    p2p::run_world(2, [&](Communicator& comm) {
+        ByteVec data = test::pattern_bytes(200 * 1024, 4); // rendezvous-sized
+        if (comm.rank() == 0) {
+            EXPECT_EQ(comm.send_bytes(data.data(), Count(data.size()), 1, 1).status,
+                      Status::success);
+            ByteVec back(data.size());
+            EXPECT_EQ(comm.recv_bytes(back.data(), Count(back.size()), 1, 2).status,
+                      Status::success);
+            EXPECT_EQ(back, data);
+            ++checks;
+        } else {
+            ByteVec got(data.size());
+            EXPECT_EQ(comm.recv_bytes(got.data(), Count(got.size()), 0, 1).status,
+                      Status::success);
+            EXPECT_EQ(got, data);
+            EXPECT_EQ(comm.send_bytes(got.data(), Count(got.size()), 0, 2).status,
+                      Status::success);
+            ++checks;
+        }
+    }, test::test_params());
+    EXPECT_EQ(checks.load(), 2);
+}
+
+TEST(P2PThreaded, ManyRanksAllToOne) {
+    constexpr int n = 5;
+    std::atomic<int> sum{0};
+    p2p::run_world(n, [&](Communicator& comm) {
+        if (comm.rank() == 0) {
+            for (int i = 1; i < n; ++i) {
+                std::int32_t v = 0;
+                const auto st = comm.recv_bytes(&v, 4, kAnySource, 9);
+                EXPECT_EQ(st.status, Status::success);
+                sum += v;
+            }
+        } else {
+            const std::int32_t v = comm.rank() * 10;
+            EXPECT_EQ(comm.send_bytes(&v, 4, 0, 9).status, Status::success);
+        }
+    }, test::test_params());
+    EXPECT_EQ(sum.load(), 10 + 20 + 30 + 40);
+}
+
+} // namespace
+} // namespace mpicd::p2p
+
+namespace mpicd::p2p {
+namespace {
+
+TEST(P2PExtras, SendrecvBytesIsDeadlockFreeOnACycle) {
+    std::atomic<int> ok_count{0};
+    run_world(3, [&](Communicator& comm) {
+        const int right = (comm.rank() + 1) % comm.size();
+        const int left = (comm.rank() + comm.size() - 1) % comm.size();
+        std::int32_t out = comm.rank() * 7;
+        std::int32_t in = -1;
+        const auto st = comm.sendrecv_bytes(&out, 4, right, 5, &in, 4, left, 5);
+        EXPECT_EQ(st.status, Status::success);
+        EXPECT_EQ(st.source, left);
+        if (in == left * 7) ++ok_count;
+    }, test::test_params());
+    EXPECT_EQ(ok_count.load(), 3);
+}
+
+TEST(P2PExtras, WaitAllCollectsEveryRequest) {
+    Universe uni(2, test::test_params());
+    constexpr int kMsgs = 6;
+    std::int32_t out[kMsgs], in[kMsgs];
+    std::vector<Request> reqs;
+    for (int i = 0; i < kMsgs; ++i) {
+        in[i] = -1;
+        reqs.push_back(uni.comm(1).irecv_bytes(&in[i], 4, 0, i));
+    }
+    for (int i = 0; i < kMsgs; ++i) {
+        out[i] = i * 3;
+        reqs.push_back(uni.comm(0).isend_bytes(&out[i], 4, 1, i));
+    }
+    EXPECT_EQ(wait_all(reqs), Status::success);
+    for (int i = 0; i < kMsgs; ++i) EXPECT_EQ(in[i], i * 3);
+}
+
+TEST(P2PExtras, WaitAllReportsFirstError) {
+    Universe uni(2, test::test_params());
+    std::int32_t v = 0;
+    std::vector<Request> reqs;
+    reqs.push_back(uni.comm(0).isend_bytes(&v, 4, 9, 0)); // invalid dest
+    EXPECT_EQ(wait_all(reqs), Status::err_arg);
+}
+
+} // namespace
+} // namespace mpicd::p2p

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "p2p/runner.hpp"
+#include "pysim/mpi4py_sim.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::pysim {
+namespace {
+
+PyValue sample_object() {
+    PyDict d;
+    d.emplace_back("name", PyValue("experiment-42"));
+    d.emplace_back("iterations", PyValue(17));
+    d.emplace_back("lr", PyValue(0.125));
+    d.emplace_back("debug", PyValue(true));
+    d.emplace_back("unset", PyValue());
+    PyList arrays;
+    arrays.emplace_back(NdArray::pattern(DType::f64, {1024}, 1));
+    arrays.emplace_back(NdArray::pattern(DType::i32, {16, 16}, 2));
+    d.emplace_back("data", PyValue(std::move(arrays)));
+    return PyValue(std::move(d));
+}
+
+TEST(PyValue, TypePredicatesAndAccessors) {
+    EXPECT_TRUE(PyValue().is_none());
+    EXPECT_TRUE(PyValue(true).is_bool());
+    EXPECT_TRUE(PyValue(5).is_int());
+    EXPECT_TRUE(PyValue(1.5).is_float());
+    EXPECT_TRUE(PyValue("s").is_str());
+    EXPECT_EQ(PyValue(5).as_int(), 5);
+    EXPECT_EQ(PyValue("s").as_str(), "s");
+}
+
+TEST(PyValue, DeepEquality) {
+    const auto a = sample_object();
+    const auto b = sample_object();
+    EXPECT_EQ(a, b);
+    auto c = sample_object();
+    c.as_dict()[1].second = PyValue(18);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(PyValue, PayloadBytesCountsNestedArrays) {
+    const auto v = sample_object();
+    EXPECT_EQ(v.payload_bytes(), 1024 * 8 + 16 * 16 * 4);
+}
+
+TEST(NdArrayTest, PatternIsDeterministic) {
+    const auto a = NdArray::pattern(DType::f32, {100}, 7);
+    const auto b = NdArray::pattern(DType::f32, {100}, 7);
+    const auto c = NdArray::pattern(DType::f32, {100}, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(a.nbytes(), 400);
+    EXPECT_EQ(a.elements(), 100);
+}
+
+TEST(Pickle, InBandRoundTrip) {
+    const auto v = sample_object();
+    Pickled p;
+    ASSERT_EQ(dumps(v, DumpOptions{}, &p), Status::success);
+    EXPECT_TRUE(p.oob.empty());
+    PyValue back;
+    ASSERT_EQ(loads(p.stream, &back), Status::success);
+    EXPECT_EQ(v, back);
+}
+
+TEST(Pickle, OutOfBandZeroCopy) {
+    const auto v = sample_object();
+    DumpOptions opts;
+    opts.out_of_band = true;
+    opts.oob_threshold = 1024;
+    Pickled p;
+    ASSERT_EQ(dumps(v, opts, &p), Status::success);
+    ASSERT_EQ(p.oob.size(), 2u); // both arrays exceed the threshold
+    // Zero copy: the buffers alias the source arrays.
+    const auto& arrays = v.as_dict()[5].second.as_list();
+    EXPECT_EQ(p.oob[0].data, arrays[0].as_ndarray().data());
+    EXPECT_EQ(p.oob[1].data, arrays[1].as_ndarray().data());
+    // The stream carries only metadata — far smaller than the payload.
+    EXPECT_LT(p.stream.size(), 256u);
+}
+
+TEST(Pickle, TwoPhaseLoadFillsViaTargets) {
+    const auto v = sample_object();
+    DumpOptions opts;
+    opts.out_of_band = true;
+    opts.oob_threshold = 512;
+    Pickled p;
+    ASSERT_EQ(dumps(v, opts, &p), Status::success);
+    PyValue back;
+    std::vector<IovEntry> fill;
+    ASSERT_EQ(loads_alloc(p.stream, &back, &fill), Status::success);
+    ASSERT_EQ(fill.size(), p.oob.size());
+    EXPECT_FALSE(v == back); // payloads not delivered yet
+    for (std::size_t i = 0; i < fill.size(); ++i) {
+        ASSERT_EQ(fill[i].len, p.oob[i].len);
+        std::memcpy(fill[i].base, p.oob[i].data, static_cast<std::size_t>(fill[i].len));
+    }
+    EXPECT_EQ(v, back); // complete after the fill
+}
+
+TEST(Pickle, MetadataHeaderIsSmall) {
+    // The paper: a 1D array's pickle header weighs ~120 bytes.
+    const auto arr = PyValue(NdArray::pattern(DType::f64, {1 << 20}, 3));
+    DumpOptions opts;
+    opts.out_of_band = true;
+    Pickled p;
+    ASSERT_EQ(dumps(arr, opts, &p), Status::success);
+    EXPECT_LT(p.stream.size(), 128u);
+    EXPECT_EQ(p.oob.size(), 1u);
+}
+
+TEST(Pickle, CorruptStreamRejected) {
+    ByteVec junk{std::byte{250}};
+    PyValue out;
+    EXPECT_EQ(loads(junk, &out), Status::err_serialize);
+}
+
+TEST(Pickle, TrailingGarbageRejected) {
+    Pickled p;
+    ASSERT_EQ(dumps(PyValue(1), DumpOptions{}, &p), Status::success);
+    p.stream.push_back(std::byte{0});
+    PyValue out;
+    EXPECT_EQ(loads(p.stream, &out), Status::err_serialize);
+}
+
+class Mpi4pyXfer : public ::testing::TestWithParam<PyXfer> {};
+
+TEST_P(Mpi4pyXfer, RoundTripsComplexObject) {
+    const auto v = sample_object();
+    PyXferOptions opts;
+    opts.method = GetParam();
+    PyValue got;
+    Status send_st = Status::err_internal, recv_st = Status::err_internal;
+    p2p::run_world(2, [&](p2p::Communicator& comm) {
+        if (comm.rank() == 0) {
+            send_st = send_pyobj(comm, v, 1, 11, opts);
+        } else {
+            recv_st = recv_pyobj(comm, &got, 0, 11, opts);
+        }
+    }, test::test_params());
+    EXPECT_EQ(send_st, Status::success);
+    EXPECT_EQ(recv_st, Status::success);
+    EXPECT_EQ(got, v);
+}
+
+TEST_P(Mpi4pyXfer, RoundTripsLargeSingleArray) {
+    const auto v = PyValue(NdArray::pattern(DType::u8, {1 << 20}, 5));
+    PyXferOptions opts;
+    opts.method = GetParam();
+    PyValue got;
+    p2p::run_world(2, [&](p2p::Communicator& comm) {
+        if (comm.rank() == 0) {
+            EXPECT_EQ(send_pyobj(comm, v, 1, 3, opts), Status::success);
+        } else {
+            EXPECT_EQ(recv_pyobj(comm, &got, 0, 3, opts), Status::success);
+        }
+    }, test::test_params());
+    EXPECT_EQ(got, v);
+}
+
+TEST_P(Mpi4pyXfer, RoundTripsScalarOnlyObject) {
+    PyDict d;
+    d.emplace_back("x", PyValue(1));
+    d.emplace_back("y", PyValue("two"));
+    const PyValue v{std::move(d)};
+    PyXferOptions opts;
+    opts.method = GetParam();
+    PyValue got;
+    p2p::run_world(2, [&](p2p::Communicator& comm) {
+        if (comm.rank() == 0) {
+            EXPECT_EQ(send_pyobj(comm, v, 1, 3, opts), Status::success);
+        } else {
+            EXPECT_EQ(recv_pyobj(comm, &got, 0, 3, opts), Status::success);
+        }
+    }, test::test_params());
+    EXPECT_EQ(got, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, Mpi4pyXfer,
+                         ::testing::Values(PyXfer::basic, PyXfer::oob_multi,
+                                           PyXfer::oob_cdt),
+                         [](const auto& info) {
+                             switch (info.param) {
+                                 case PyXfer::basic: return "basic";
+                                 case PyXfer::oob_multi: return "oob_multi";
+                                 case PyXfer::oob_cdt: return "oob_cdt";
+                             }
+                             return "unknown";
+                         });
+
+} // namespace
+} // namespace mpicd::pysim
+
+namespace mpicd::pysim {
+namespace {
+
+TEST(PyValueRepr, ScalarsAndContainers) {
+    PyDict d;
+    d.emplace_back("x", PyValue(1));
+    d.emplace_back("flag", PyValue(true));
+    d.emplace_back("name", PyValue("run"));
+    d.emplace_back("none", PyValue());
+    PyList l;
+    l.emplace_back(PyValue(2));
+    l.emplace_back(NdArray::zeros(DType::f64, {4, 4}));
+    d.emplace_back("items", PyValue(std::move(l)));
+    const PyValue v{std::move(d)};
+    EXPECT_EQ(v.repr(),
+              "{'x': 1, 'flag': True, 'name': 'run', 'none': None, "
+              "'items': [2, ndarray(float64, [4, 4])]}");
+}
+
+TEST(PyValueRepr, EmptyContainers) {
+    EXPECT_EQ(PyValue(PyList{}).repr(), "[]");
+    EXPECT_EQ(PyValue(PyDict{}).repr(), "{}");
+}
+
+} // namespace
+} // namespace mpicd::pysim

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "serial/archive.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::serial {
+namespace {
+
+TEST(Archive, ScalarRoundTrip) {
+    OArchive oa;
+    oa.put_scalar<std::int32_t>(-7);
+    oa.put_scalar<double>(3.25);
+    oa.put_u8(200);
+    IArchive ia(oa.stream());
+    std::int32_t i = 0;
+    double d = 0;
+    std::uint8_t b = 0;
+    ASSERT_EQ(ia.get_scalar(&i), Status::success);
+    ASSERT_EQ(ia.get_scalar(&d), Status::success);
+    ASSERT_EQ(ia.get_u8(&b), Status::success);
+    EXPECT_EQ(i, -7);
+    EXPECT_DOUBLE_EQ(d, 3.25);
+    EXPECT_EQ(b, 200);
+    EXPECT_TRUE(ia.exhausted());
+}
+
+TEST(Archive, VarintBoundaries) {
+    OArchive oa;
+    const std::uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384,
+                                    0xFFFFFFFFull, ~std::uint64_t{0}};
+    for (const auto v : values) oa.put_varint(v);
+    IArchive ia(oa.stream());
+    for (const auto v : values) {
+        std::uint64_t got = 0;
+        ASSERT_EQ(ia.get_varint(&got), Status::success);
+        EXPECT_EQ(got, v);
+    }
+    EXPECT_TRUE(ia.exhausted());
+}
+
+TEST(Archive, VarintEncodingIsCompact) {
+    OArchive oa;
+    oa.put_varint(5);
+    EXPECT_EQ(oa.stream().size(), 1u);
+    OArchive ob;
+    ob.put_varint(300);
+    EXPECT_EQ(ob.stream().size(), 2u);
+}
+
+TEST(Archive, StringRoundTrip) {
+    OArchive oa;
+    oa.put_string("hello");
+    oa.put_string("");
+    oa.put_string(std::string(1000, 'x'));
+    IArchive ia(oa.stream());
+    std::string a, b, c;
+    ASSERT_EQ(ia.get_string(&a), Status::success);
+    ASSERT_EQ(ia.get_string(&b), Status::success);
+    ASSERT_EQ(ia.get_string(&c), Status::success);
+    EXPECT_EQ(a, "hello");
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(Archive, VectorRoundTrip) {
+    OArchive oa;
+    const auto v = test::iota_vec<std::int64_t>(37, -5);
+    oa.put_vector(v);
+    IArchive ia(oa.stream());
+    std::vector<std::int64_t> got;
+    ASSERT_EQ(ia.get_vector(&got), Status::success);
+    EXPECT_EQ(got, v);
+}
+
+TEST(Archive, InlineBlobWhenOobDisabled) {
+    OArchive oa; // default policy: no out-of-band
+    const ByteVec big = test::pattern_bytes(10000);
+    oa.put_blob(big);
+    EXPECT_TRUE(oa.oob().empty());
+    IArchive ia(oa.stream());
+    ConstBytes got;
+    ASSERT_EQ(ia.get_blob(&got), Status::success);
+    ASSERT_EQ(got.size(), big.size());
+    EXPECT_EQ(std::memcmp(got.data(), big.data(), big.size()), 0);
+}
+
+TEST(Archive, OobBlobAboveThreshold) {
+    OobPolicy policy{true, 100};
+    OArchive oa(policy);
+    const ByteVec small = test::pattern_bytes(50, 1);
+    const ByteVec big = test::pattern_bytes(500, 2);
+    oa.put_blob(small); // inline
+    oa.put_blob(big);   // out-of-band, zero copy
+    ASSERT_EQ(oa.oob().size(), 1u);
+    EXPECT_EQ(oa.oob()[0].base, big.data());
+    EXPECT_EQ(oa.oob()[0].len, 500);
+    // The stream holds the small blob but only a descriptor for the big one.
+    EXPECT_LT(oa.stream().size(), 100u);
+
+    IArchive ia(oa.stream(), oa.oob());
+    ConstBytes got_small, got_big;
+    ASSERT_EQ(ia.get_blob(&got_small), Status::success);
+    ASSERT_EQ(ia.get_blob(&got_big), Status::success);
+    EXPECT_EQ(got_small.size(), 50u);
+    EXPECT_EQ(got_big.data(), reinterpret_cast<const std::byte*>(big.data()));
+}
+
+TEST(Archive, TruncatedStreamFails) {
+    OArchive oa;
+    oa.put_scalar<double>(1.0);
+    ByteVec cut(oa.stream().begin(), oa.stream().begin() + 3);
+    IArchive ia(cut);
+    double d = 0;
+    EXPECT_EQ(ia.get_scalar(&d), Status::err_serialize);
+}
+
+TEST(Archive, CorruptBlobTagFails) {
+    ByteVec bad{std::byte{7}}; // invalid blob tag
+    IArchive ia(bad);
+    ConstBytes got;
+    EXPECT_EQ(ia.get_blob(&got), Status::err_serialize);
+}
+
+TEST(Archive, OobIndexOutOfRangeFails) {
+    OobPolicy policy{true, 10};
+    OArchive oa(policy);
+    const ByteVec big = test::pattern_bytes(100);
+    oa.put_blob(big);
+    // Deserialize without providing the regions.
+    IArchive ia(oa.stream());
+    ConstBytes got;
+    EXPECT_EQ(ia.get_blob(&got), Status::err_serialize);
+}
+
+TEST(Archive, GetRawBulkCopy) {
+    OArchive oa;
+    const ByteVec data = test::pattern_bytes(64);
+    for (const auto b : data) oa.put_u8(static_cast<std::uint8_t>(b));
+    IArchive ia(oa.stream());
+    ByteVec out(64);
+    ASSERT_EQ(ia.get_raw(out), Status::success);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(ia.get_raw(out), Status::err_serialize); // exhausted
+}
+
+} // namespace
+} // namespace mpicd::serial

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "dt/signature.hpp"
+
+namespace mpicd::dt {
+namespace {
+
+TEST(Signature, PredefinedRle) {
+    const auto sig = signature(type_int32(), 5);
+    ASSERT_EQ(sig.size(), 1u);
+    EXPECT_EQ(sig[0].kind, Predef::int32);
+    EXPECT_EQ(sig[0].count, 5);
+}
+
+TEST(Signature, StructSequence) {
+    const Count blocklens[] = {3, 1};
+    const Count displs[] = {0, 16};
+    const TypeRef types[] = {type_int32(), type_double()};
+    auto t = Datatype::struct_(blocklens, displs, types);
+    const auto sig = signature(t, 1);
+    ASSERT_EQ(sig.size(), 2u);
+    EXPECT_EQ(sig[0].kind, Predef::int32);
+    EXPECT_EQ(sig[0].count, 3);
+    EXPECT_EQ(sig[1].kind, Predef::float64);
+    EXPECT_EQ(sig[1].count, 1);
+}
+
+TEST(Signature, EquivalentAcrossConstructions) {
+    // vector(2 blocks of 3 ints) == contiguous(6 ints) by signature.
+    auto v = Datatype::vector(2, 3, 10, type_int32());
+    auto c = Datatype::contiguous(6, type_int32());
+    EXPECT_TRUE(signature_equivalent(v, 1, c, 1));
+    EXPECT_TRUE(signature_equivalent(c, 2, v, 2));
+}
+
+TEST(Signature, CountSplitEquivalence) {
+    // 2 elements of contiguous(3) == 3 elements of contiguous(2).
+    auto a = Datatype::contiguous(3, type_double());
+    auto b = Datatype::contiguous(2, type_double());
+    EXPECT_TRUE(signature_equivalent(a, 2, b, 3));
+}
+
+TEST(Signature, DifferentLeafTypesNotEquivalent) {
+    auto a = Datatype::contiguous(2, type_int32());
+    auto b = Datatype::contiguous(2, type_float());
+    EXPECT_FALSE(signature_equivalent(a, 1, b, 1));
+}
+
+TEST(Signature, OrderMatters) {
+    const Count blocklens[] = {1, 1};
+    const Count displs[] = {0, 8};
+    const TypeRef t1[] = {type_int32(), type_double()};
+    const TypeRef t2[] = {type_double(), type_int32()};
+    auto a = Datatype::struct_(blocklens, displs, t1);
+    auto b = Datatype::struct_(blocklens, displs, t2);
+    EXPECT_FALSE(signature_equivalent(a, 1, b, 1));
+}
+
+TEST(Signature, MergesAcrossElements) {
+    auto t = Datatype::contiguous(4, type_int32());
+    const auto sig = signature(t, 3);
+    ASSERT_EQ(sig.size(), 1u);
+    EXPECT_EQ(sig[0].count, 12);
+}
+
+TEST(Signature, EmptyCases) {
+    EXPECT_TRUE(signature(nullptr, 1).empty());
+    EXPECT_TRUE(signature(type_int32(), 0).empty());
+    auto empty = Datatype::contiguous(0, type_int32());
+    EXPECT_TRUE(signature(empty, 3).empty());
+}
+
+TEST(Signature, BytesStable) {
+    auto a = Datatype::vector(2, 3, 10, type_int32());
+    auto b = Datatype::contiguous(6, type_int32());
+    EXPECT_EQ(signature_bytes(a, 1), signature_bytes(b, 1));
+    EXPECT_NE(signature_bytes(a, 1), signature_bytes(b, 2));
+}
+
+} // namespace
+} // namespace mpicd::dt

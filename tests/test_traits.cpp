@@ -1,0 +1,155 @@
+// Tests for the CustomSerialize<T> trait layer and the paper's benchmark
+// types (Listings 6–8).
+#include <gtest/gtest.h>
+
+#include "core/paper_types.hpp"
+#include "p2p/universe.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::core {
+namespace {
+
+TEST(PaperTypes, LayoutsMatchTheListings) {
+    // struct_vec / struct_simple have a 4-byte gap between c and d.
+    EXPECT_EQ(offsetof(StructSimple, d), 16u);
+    EXPECT_EQ(offsetof(StructVec, d), 16u);
+    EXPECT_EQ(offsetof(StructVec, data), 24u);
+    // struct_simple_no_gap is gap-free.
+    EXPECT_EQ(offsetof(StructSimpleNoGap, c), 8u);
+    EXPECT_EQ(sizeof(StructSimpleNoGap), 16u);
+}
+
+TEST(PaperTypes, DerivedDatatypesDescribeTheStructs) {
+    auto t = struct_simple_dt();
+    EXPECT_EQ(t->size(), kScalarPack);
+    EXPECT_EQ(t->extent(), static_cast<Count>(sizeof(StructSimple)));
+    EXPECT_FALSE(t->is_contiguous());
+
+    auto ng = struct_simple_no_gap_dt();
+    EXPECT_EQ(ng->size(), 16);
+    EXPECT_TRUE(ng->is_contiguous());
+
+    auto sv = struct_vec_dt();
+    EXPECT_EQ(sv->size(), kScalarPack + 4 * Count(kStructVecData));
+    EXPECT_EQ(sv->extent(), static_cast<Count>(sizeof(StructVec)));
+}
+
+TEST(Traits, StructSimpleRoundTrip) {
+    p2p::Universe uni(2, test::test_params());
+    const auto& type = custom_datatype_of<StructSimple>();
+    std::vector<StructSimple> send(100), recv(100);
+    for (int i = 0; i < 100; ++i)
+        send[static_cast<std::size_t>(i)] = {i, i * 2, i * 3, i * 0.5};
+    auto rr = uni.comm(1).irecv_custom(recv.data(), 100, type, 0, 1);
+    auto rs = uni.comm(0).isend_custom(send.data(), 100, type, 1, 1);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.status, Status::success);
+    EXPECT_EQ(st.bytes, 100 * kScalarPack); // gap not transferred
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(i)].a, i);
+        EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)].d, i * 0.5);
+    }
+}
+
+TEST(Traits, StructVecRoundTripUsesRegions) {
+    p2p::Universe uni(2, test::test_params());
+    const auto& type = custom_datatype_of<StructVec>();
+    std::vector<StructVec> send(4), recv(4);
+    for (int i = 0; i < 4; ++i) {
+        auto& s = send[static_cast<std::size_t>(i)];
+        s.a = i;
+        s.b = -i;
+        s.c = i * 7;
+        s.d = i * 1.25;
+        for (std::size_t k = 0; k < kStructVecData; ++k)
+            s.data[k] = static_cast<std::int32_t>(k + static_cast<std::size_t>(i));
+    }
+    auto rr = uni.comm(1).irecv_custom(recv.data(), 4, type, 0, 1);
+    auto rs = uni.comm(0).isend_custom(send.data(), 4, type, 1, 1);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.status, Status::success);
+    EXPECT_EQ(st.bytes, 4 * (kScalarPack + 4 * Count(kStructVecData)));
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(i)].c, i * 7);
+        EXPECT_EQ(std::memcmp(recv[static_cast<std::size_t>(i)].data,
+                              send[static_cast<std::size_t>(i)].data,
+                              sizeof(send[0].data)),
+                  0);
+    }
+}
+
+TEST(Traits, StructSimpleNoGapIsPureRegion) {
+    p2p::Universe uni(2, test::test_params());
+    const auto& type = custom_datatype_of<StructSimpleNoGap>();
+    std::vector<StructSimpleNoGap> send(50), recv(50);
+    for (int i = 0; i < 50; ++i) send[static_cast<std::size_t>(i)] = {i, i + 1, i * 0.5};
+    auto rr = uni.comm(1).irecv_custom(recv.data(), 50, type, 0, 1);
+    auto rs = uni.comm(0).isend_custom(send.data(), 50, type, 1, 1);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.status, Status::success);
+    EXPECT_EQ(st.bytes, 50 * Count(sizeof(StructSimpleNoGap)));
+    EXPECT_EQ(std::memcmp(recv.data(), send.data(), 50 * sizeof(StructSimpleNoGap)), 0);
+}
+
+TEST(Traits, DoubleVectorRoundTrip) {
+    // The paper's double-vector type: count sub-vectors, lengths in-band,
+    // payloads as regions.
+    p2p::Universe uni(2, test::test_params());
+    using Sub = std::vector<std::int32_t>;
+    const auto& type = custom_datatype_of<Sub>();
+    std::vector<Sub> send(8), recv(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        send[i] = test::iota_vec<std::int32_t>(64 * (i + 1), int(i));
+        recv[i].resize(send[i].size()); // receiver knows the sizes (paper §VI)
+    }
+    auto rr = uni.comm(1).irecv_custom(recv.data(), 8, type, 0, 2);
+    auto rs = uni.comm(0).isend_custom(send.data(), 8, type, 1, 2);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(send[i], recv[i]);
+}
+
+TEST(Traits, DoubleVectorSizeMismatchIsUnpackError) {
+    p2p::Universe uni(2, test::test_params());
+    using Sub = std::vector<std::int32_t>;
+    const auto& type = custom_datatype_of<Sub>();
+    std::vector<Sub> send(2), recv(2);
+    send[0] = test::iota_vec<std::int32_t>(32);
+    send[1] = test::iota_vec<std::int32_t>(32);
+    recv[0].resize(32);
+    recv[1].resize(16); // wrong pre-size: regions cannot line up
+    auto rr = uni.comm(1).irecv_custom(recv.data(), 2, type, 0, 2);
+    auto rs = uni.comm(0).isend_custom(send.data(), 2, type, 1, 2);
+    (void)rs.wait();
+    const auto st = rr.wait();
+    EXPECT_NE(st.status, Status::success);
+}
+
+TEST(Traits, CachedDatatypeIsSingleton) {
+    const auto& a = custom_datatype_of<StructSimple>();
+    const auto& b = custom_datatype_of<StructSimple>();
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Traits, LargeCountRendezvous) {
+    p2p::Universe uni(2, test::test_params());
+    const auto& type = custom_datatype_of<StructSimple>();
+    const int n = 4096; // 4096 * 20 B = 80 KiB packed > eager threshold
+    std::vector<StructSimple> send(n), recv(n);
+    for (int i = 0; i < n; ++i)
+        send[static_cast<std::size_t>(i)] = {i, i ^ 0x55, -i, i * 0.125};
+    auto rr = uni.comm(1).irecv_custom(recv.data(), n, type, 0, 3);
+    auto rs = uni.comm(0).isend_custom(send.data(), n, type, 1, 3);
+    EXPECT_EQ(rs.wait().status, Status::success);
+    EXPECT_EQ(rr.wait().status, Status::success);
+    for (int i = 0; i < n; i += 997) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(i)].b, i ^ 0x55);
+        EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)].d, i * 0.125);
+    }
+}
+
+} // namespace
+} // namespace mpicd::core

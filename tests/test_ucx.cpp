@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "test_util.hpp"
+#include "ucx/worker.hpp"
+
+namespace mpicd::ucx {
+namespace {
+
+using netsim::Fabric;
+
+struct UcxPair : ::testing::Test {
+    UcxPair() : fabric(2, test::test_params()), w0(fabric, 0), w1(fabric, 1) {}
+
+    void progress_until(RequestId id, Worker& owner) {
+        for (int i = 0; i < 1'000'000 && !owner.is_complete(id); ++i) {
+            w0.progress();
+            w1.progress();
+        }
+        ASSERT_TRUE(owner.is_complete(id));
+    }
+
+    Fabric fabric;
+    Worker w0, w1;
+};
+
+TEST_F(UcxPair, EagerContigRoundTrip) {
+    const ByteVec src = test::pattern_bytes(1000);
+    ByteVec dst(1000);
+    const auto rid = w1.tag_recv(42, ~Tag{0}, make_contig_recv(dst.data(), 1000));
+    const auto sid = w0.tag_send(1, 42, make_contig_send(src.data(), 1000));
+    progress_until(rid, w1);
+    progress_until(sid, w0);
+    const auto rc = w1.take_completion(rid);
+    EXPECT_EQ(rc.status, Status::success);
+    EXPECT_EQ(rc.received_len, 1000);
+    EXPECT_EQ(rc.sender_tag, 42u);
+    EXPECT_GT(rc.vtime, 0.0);
+    EXPECT_EQ(src, dst);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, UnexpectedEagerThenRecv) {
+    const ByteVec src = test::pattern_bytes(64, 7);
+    ByteVec dst(64);
+    const auto sid = w0.tag_send(1, 9, make_contig_send(src.data(), 64));
+    w1.progress(); // message lands in the unexpected queue
+    const auto rid = w1.tag_recv(9, ~Tag{0}, make_contig_recv(dst.data(), 64));
+    progress_until(rid, w1);
+    EXPECT_EQ(src, dst);
+    (void)w1.take_completion(rid);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, RendezvousContigZeroCopy) {
+    const std::size_t n = 256 * 1024; // above the 32 KiB eager threshold
+    const ByteVec src = test::pattern_bytes(n, 3);
+    ByteVec dst(n);
+    const auto rid = w1.tag_recv(1, ~Tag{0}, make_contig_recv(dst.data(), Count(n)));
+    const auto sid = w0.tag_send(1, 1, make_contig_send(src.data(), Count(n)));
+    progress_until(sid, w0);
+    progress_until(rid, w1);
+    EXPECT_EQ(src, dst);
+    const auto rc = w1.take_completion(rid);
+    EXPECT_EQ(rc.received_len, Count(n));
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, IovGatherScatter) {
+    ByteVec a = test::pattern_bytes(100, 1), b = test::pattern_bytes(200, 2);
+    ByteVec c(120), d(180);
+    const auto rid =
+        w1.tag_recv(5, ~Tag{0}, make_iov({{c.data(), 120}, {d.data(), 180}}));
+    const auto sid =
+        w0.tag_send(1, 5, make_iov({{a.data(), 100}, {b.data(), 200}}));
+    progress_until(rid, w1);
+    // Concatenated stream a+b scattered across c+d.
+    ByteVec stream;
+    stream.insert(stream.end(), a.begin(), a.end());
+    stream.insert(stream.end(), b.begin(), b.end());
+    EXPECT_EQ(std::memcmp(c.data(), stream.data(), 120), 0);
+    EXPECT_EQ(std::memcmp(d.data(), stream.data() + 120, 180), 0);
+    (void)w1.take_completion(rid);
+    progress_until(sid, w0);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, IovRendezvousZeroCopy) {
+    const std::size_t n = 64 * 1024;
+    ByteVec a = test::pattern_bytes(n, 1), b = test::pattern_bytes(n, 2);
+    ByteVec c(n), d(n);
+    const auto rid = w1.tag_recv(
+        5, ~Tag{0}, make_iov({{c.data(), Count(n)}, {d.data(), Count(n)}}));
+    const auto sid = w0.tag_send(
+        1, 5, make_iov({{a.data(), Count(n)}, {b.data(), Count(n)}}));
+    progress_until(rid, w1);
+    EXPECT_EQ(a, c);
+    EXPECT_EQ(b, d);
+    (void)w1.take_completion(rid);
+    progress_until(sid, w0);
+    (void)w0.take_completion(sid);
+}
+
+// A generic datatype that "packs" by XORing every byte with a key, so the
+// test detects whether pack/unpack callbacks actually ran.
+struct XorCtx {
+    std::byte key;
+};
+struct XorState {
+    XorCtx* ctx;
+    const std::byte* src;
+    std::byte* dst;
+    Count len;
+};
+
+Status xor_start_pack(void* ctx, const void* buf, Count count, void** state) {
+    *state = new XorState{static_cast<XorCtx*>(ctx),
+                          static_cast<const std::byte*>(buf), nullptr, count};
+    return Status::success;
+}
+Status xor_start_unpack(void* ctx, void* buf, Count count, void** state) {
+    *state = new XorState{static_cast<XorCtx*>(ctx), nullptr,
+                          static_cast<std::byte*>(buf), count};
+    return Status::success;
+}
+Status xor_packed_size(void* state, Count* size) {
+    *size = static_cast<XorState*>(state)->len;
+    return Status::success;
+}
+Status xor_pack(void* state, Count offset, void* dst, Count dst_size, Count* used) {
+    auto* st = static_cast<XorState*>(state);
+    const Count n = std::min(dst_size, st->len - offset);
+    for (Count i = 0; i < n; ++i)
+        static_cast<std::byte*>(dst)[i] = st->src[offset + i] ^ st->ctx->key;
+    *used = n;
+    return Status::success;
+}
+Status xor_unpack(void* state, Count offset, const void* src, Count src_size) {
+    auto* st = static_cast<XorState*>(state);
+    if (offset + src_size > st->len) return Status::err_unpack;
+    for (Count i = 0; i < src_size; ++i)
+        st->dst[offset + i] =
+            static_cast<const std::byte*>(src)[i] ^ st->ctx->key;
+    return Status::success;
+}
+void xor_finish(void* state) { delete static_cast<XorState*>(state); }
+
+GenericDesc xor_desc(XorCtx& ctx) {
+    GenericDesc g;
+    g.ops.start_pack = xor_start_pack;
+    g.ops.start_unpack = xor_start_unpack;
+    g.ops.packed_size = xor_packed_size;
+    g.ops.pack = xor_pack;
+    g.ops.unpack = xor_unpack;
+    g.ops.finish = xor_finish;
+    g.ops.ctx = &ctx;
+    return g;
+}
+
+TEST_F(UcxPair, GenericEagerCallbacksRun) {
+    XorCtx key{std::byte{0x5A}};
+    const ByteVec src = test::pattern_bytes(500);
+    ByteVec dst(500);
+    auto gs = xor_desc(key);
+    gs.send_buf = src.data();
+    gs.count = 500;
+    auto gr = xor_desc(key);
+    gr.recv_buf = dst.data();
+    gr.count = 500;
+    const auto rid = w1.tag_recv(3, ~Tag{0}, gr);
+    const auto sid = w0.tag_send(1, 3, gs);
+    progress_until(rid, w1);
+    EXPECT_EQ(src, dst); // XOR applied twice cancels out
+    (void)w1.take_completion(rid);
+    progress_until(sid, w0);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, GenericRendezvousPipelined) {
+    XorCtx key{std::byte{0x33}};
+    const std::size_t n = 3 * 512 * 1024 + 777; // several pipeline fragments
+    const ByteVec src = test::pattern_bytes(n, 5);
+    ByteVec dst(n);
+    auto gs = xor_desc(key);
+    gs.send_buf = src.data();
+    gs.count = Count(n);
+    auto gr = xor_desc(key);
+    gr.recv_buf = dst.data();
+    gr.count = Count(n);
+    const auto rid = w1.tag_recv(3, ~Tag{0}, gr);
+    const auto sid = w0.tag_send(1, 3, gs);
+    progress_until(rid, w1);
+    EXPECT_EQ(src, dst);
+    (void)w1.take_completion(rid);
+    progress_until(sid, w0);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, GenericToContigCrossKind) {
+    XorCtx key{std::byte{0x00}}; // identity pack
+    const ByteVec src = test::pattern_bytes(2048, 9);
+    ByteVec dst(2048);
+    auto gs = xor_desc(key);
+    gs.send_buf = src.data();
+    gs.count = 2048;
+    const auto rid = w1.tag_recv(8, ~Tag{0}, make_contig_recv(dst.data(), 2048));
+    const auto sid = w0.tag_send(1, 8, gs);
+    progress_until(rid, w1);
+    EXPECT_EQ(src, dst);
+    (void)w1.take_completion(rid);
+    progress_until(sid, w0);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, EagerTruncationReported) {
+    const ByteVec src = test::pattern_bytes(100);
+    ByteVec dst(60);
+    const auto rid = w1.tag_recv(2, ~Tag{0}, make_contig_recv(dst.data(), 60));
+    const auto sid = w0.tag_send(1, 2, make_contig_send(src.data(), 100));
+    progress_until(rid, w1);
+    const auto rc = w1.take_completion(rid);
+    EXPECT_EQ(rc.status, Status::err_truncate);
+    EXPECT_EQ(rc.received_len, 60);
+    EXPECT_EQ(std::memcmp(dst.data(), src.data(), 60), 0);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, RendezvousTruncationAborts) {
+    const std::size_t n = 128 * 1024;
+    const ByteVec src = test::pattern_bytes(n);
+    ByteVec dst(1024);
+    const auto rid = w1.tag_recv(2, ~Tag{0}, make_contig_recv(dst.data(), 1024));
+    const auto sid = w0.tag_send(1, 2, make_contig_send(src.data(), Count(n)));
+    progress_until(rid, w1);
+    progress_until(sid, w0);
+    EXPECT_EQ(w1.take_completion(rid).status, Status::err_truncate);
+    EXPECT_EQ(w0.take_completion(sid).status, Status::err_truncate);
+}
+
+TEST_F(UcxPair, TagMaskWildcard) {
+    const ByteVec src = test::pattern_bytes(32);
+    ByteVec dst(32);
+    // Receive with the low 32 bits masked out: any tag matches.
+    const auto rid = w1.tag_recv(0, 0, make_contig_recv(dst.data(), 32));
+    const auto sid = w0.tag_send(1, 0xDEADBEEF, make_contig_send(src.data(), 32));
+    progress_until(rid, w1);
+    const auto rc = w1.take_completion(rid);
+    EXPECT_EQ(rc.sender_tag, 0xDEADBEEFu);
+    EXPECT_EQ(src, dst);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, OrderingPreservedAmongMatches) {
+    ByteVec a(4), b(4);
+    const std::uint32_t va = 0x11111111, vb = 0x22222222;
+    const auto s1 = w0.tag_send(1, 7, make_contig_send(&va, 4));
+    const auto s2 = w0.tag_send(1, 7, make_contig_send(&vb, 4));
+    const auto r1 = w1.tag_recv(7, ~Tag{0}, make_contig_recv(a.data(), 4));
+    const auto r2 = w1.tag_recv(7, ~Tag{0}, make_contig_recv(b.data(), 4));
+    progress_until(r1, w1);
+    progress_until(r2, w1);
+    std::uint32_t ga = 0, gb = 0;
+    std::memcpy(&ga, a.data(), 4);
+    std::memcpy(&gb, b.data(), 4);
+    EXPECT_EQ(ga, va);
+    EXPECT_EQ(gb, vb);
+    (void)w1.take_completion(r1);
+    (void)w1.take_completion(r2);
+    (void)w0.take_completion(s1);
+    (void)w0.take_completion(s2);
+}
+
+TEST_F(UcxPair, ProbeSeesUnexpected) {
+    const ByteVec src = test::pattern_bytes(128);
+    (void)w0.tag_send(1, 77, make_contig_send(src.data(), 128));
+    w1.progress();
+    const auto info = w1.probe(77, ~Tag{0});
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->total_len, 128);
+    EXPECT_EQ(info->src, 0);
+    // Probe is non-destructive.
+    EXPECT_TRUE(w1.probe(77, ~Tag{0}).has_value());
+}
+
+TEST_F(UcxPair, ProbeSeesRendezvousSize) {
+    const std::size_t n = 100 * 1024;
+    const ByteVec src = test::pattern_bytes(n);
+    (void)w0.tag_send(1, 78, make_contig_send(src.data(), Count(n)));
+    w1.progress();
+    const auto info = w1.probe(78, ~Tag{0});
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->total_len, Count(n));
+}
+
+TEST_F(UcxPair, MprobeRemovesFromMatching) {
+    const ByteVec src = test::pattern_bytes(64);
+    const auto sid = w0.tag_send(1, 5, make_contig_send(src.data(), 64));
+    w1.progress();
+    auto handle = w1.mprobe(5, ~Tag{0});
+    ASSERT_TRUE(handle.has_value());
+    EXPECT_EQ(handle->info.total_len, 64);
+    // The message is no longer visible to probe or recv.
+    EXPECT_FALSE(w1.probe(5, ~Tag{0}).has_value());
+    ByteVec dst(64);
+    const auto rid = w1.imrecv(*handle, make_contig_recv(dst.data(), 64));
+    progress_until(rid, w1);
+    EXPECT_EQ(src, dst);
+    (void)w1.take_completion(rid);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, ZeroByteMessage) {
+    const auto rid = w1.tag_recv(1, ~Tag{0}, make_contig_recv(nullptr, 0));
+    const auto sid = w0.tag_send(1, 1, make_contig_send(nullptr, 0));
+    progress_until(rid, w1);
+    EXPECT_EQ(w1.take_completion(rid).received_len, 0);
+    (void)w0.take_completion(sid);
+}
+
+TEST_F(UcxPair, CancelUnmatchedRecv) {
+    ByteVec dst(16);
+    const auto rid = w1.tag_recv(99, ~Tag{0}, make_contig_recv(dst.data(), 16));
+    EXPECT_TRUE(w1.cancel_recv(rid));
+    EXPECT_FALSE(w1.cancel_recv(rid)); // already gone
+}
+
+TEST_F(UcxPair, VirtualTimeAdvancesWithTransfer) {
+    const SimTime before = w1.now();
+    const ByteVec src = test::pattern_bytes(4096);
+    ByteVec dst(4096);
+    const auto rid = w1.tag_recv(1, ~Tag{0}, make_contig_recv(dst.data(), 4096));
+    (void)w0.tag_send(1, 1, make_contig_send(src.data(), 4096));
+    progress_until(rid, w1);
+    const auto rc = w1.take_completion(rid);
+    EXPECT_GT(rc.vtime, before);
+    // At least one wire latency must have elapsed.
+    EXPECT_GE(rc.vtime, test::test_params().latency_us);
+}
+
+} // namespace
+} // namespace mpicd::ucx

@@ -1,0 +1,102 @@
+// Protocol-counter tests: assert which path (eager / rendezvous zero-copy /
+// rendezvous pipeline) a transfer actually took.
+#include <gtest/gtest.h>
+
+#include "p2p/universe.hpp"
+#include "p2p/communicator.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::ucx {
+namespace {
+
+using p2p::Universe;
+
+TEST(WorkerStats, SmallMessageIsEager) {
+    Universe uni(2, test::test_params());
+    ByteVec buf(1024), dst(1024);
+    auto rr = uni.comm(1).irecv_bytes(dst.data(), 1024, 0, 1);
+    auto rs = uni.comm(0).isend_bytes(buf.data(), 1024, 1, 1);
+    (void)rr.wait();
+    (void)rs.wait();
+    const auto s = uni.worker(0).stats();
+    EXPECT_EQ(s.eager_sends, 1u);
+    EXPECT_EQ(s.rndv_sends, 0u);
+    EXPECT_EQ(s.bytes_sent, 1024u);
+    const auto r = uni.worker(1).stats();
+    EXPECT_EQ(r.recv_completions, 1u);
+    EXPECT_EQ(r.bytes_received, 1024u);
+}
+
+TEST(WorkerStats, LargeContigIsRendezvousRdma) {
+    Universe uni(2, test::test_params());
+    const std::size_t n = 128 * 1024;
+    ByteVec buf(n), dst(n);
+    auto rr = uni.comm(1).irecv_bytes(dst.data(), Count(n), 0, 1);
+    auto rs = uni.comm(0).isend_bytes(buf.data(), Count(n), 1, 1);
+    (void)rs.wait();
+    (void)rr.wait();
+    const auto s = uni.worker(0).stats();
+    EXPECT_EQ(s.rndv_sends, 1u);
+    EXPECT_EQ(s.rndv_rdma, 1u);
+    EXPECT_EQ(s.rndv_pipeline, 0u);
+}
+
+TEST(WorkerStats, GenericRecvForcesPipeline) {
+    Universe uni(2, test::test_params());
+    // A non-contiguous derived type large enough for rendezvous: the
+    // receive side is a generic sink, so the pipeline path must run.
+    auto col = dt::Datatype::vector(16 * 1024, 1, 2, dt::type_double());
+    ASSERT_EQ(col->commit(), Status::success);
+    std::vector<double> src(2 * 16 * 1024), dst(2 * 16 * 1024);
+    auto rr = uni.comm(1).irecv(dst.data(), 1, col, 0, 1);
+    auto rs = uni.comm(0).isend(src.data(), 1, col, 1, 1);
+    (void)rs.wait();
+    (void)rr.wait();
+    const auto s = uni.worker(0).stats();
+    EXPECT_EQ(s.rndv_pipeline, 1u);
+    EXPECT_EQ(s.rndv_rdma, 0u);
+}
+
+TEST(WorkerStats, UnexpectedMessagesCounted) {
+    Universe uni(2, test::test_params());
+    ByteVec buf(64);
+    auto rs1 = uni.comm(0).isend_bytes(buf.data(), 64, 1, 1);
+    auto rs2 = uni.comm(0).isend_bytes(buf.data(), 64, 1, 2);
+    (void)rs1.wait();
+    (void)rs2.wait();
+    uni.progress_all(); // both land unexpected
+    EXPECT_EQ(uni.worker(1).stats().unexpected_msgs, 2u);
+    ByteVec dst(64);
+    (void)uni.comm(1).irecv_bytes(dst.data(), 64, 0, 1).wait();
+    (void)uni.comm(1).irecv_bytes(dst.data(), 64, 0, 2).wait();
+    // Matching later does not increment the counter again.
+    EXPECT_EQ(uni.worker(1).stats().unexpected_msgs, 2u);
+}
+
+TEST(WorkerStats, IovEagerRangeIsWider) {
+    // A 256 KiB IOV send stays eager (iov_eager_threshold = 1 MiB default)
+    // while a contiguous send of the same size goes rendezvous.
+    Universe uni(2, test::test_params());
+    const std::size_t n = 256 * 1024;
+    ByteVec a(n), b(n), dst(2 * n);
+    auto rid = uni.worker(1).tag_recv(7, ~Tag{0},
+                                      make_contig_recv(dst.data(), Count(2 * n)));
+    (void)uni.worker(0).tag_send(
+        1, 7, make_iov({{a.data(), Count(n)}, {b.data(), Count(n)}}));
+    while (!uni.worker(1).is_complete(rid)) uni.progress_all();
+    (void)uni.worker(1).take_completion(rid);
+    const auto s = uni.worker(0).stats();
+    EXPECT_EQ(s.eager_sends, 1u);
+    EXPECT_EQ(s.rndv_sends, 0u);
+
+    // The contiguous send of the same size takes rendezvous instead.
+    auto rid2 = uni.worker(1).tag_recv(8, ~Tag{0},
+                                       make_contig_recv(dst.data(), Count(n)));
+    (void)uni.worker(0).tag_send(1, 8, make_contig_send(a.data(), Count(n)));
+    while (!uni.worker(1).is_complete(rid2)) uni.progress_all();
+    (void)uni.worker(1).take_completion(rid2);
+    EXPECT_EQ(uni.worker(0).stats().rndv_sends, 1u);
+}
+
+} // namespace
+} // namespace mpicd::ucx

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Render the benchmark tables in bench_output.txt as ASCII log-log charts.
+
+The figure benches print plain tables (size column + one column per
+method). This tool turns each into a quick terminal chart so the paper
+shapes (crossovers, dips, who-wins) are visible without matplotlib:
+
+    ./tools/plot_bench.py bench_output.txt            # all figures
+    ./tools/plot_bench.py bench_output.txt Fig.7      # one figure
+"""
+import math
+import re
+import sys
+
+WIDTH = 72
+HEIGHT = 18
+MARKS = "ox+*#@%&"
+
+
+def parse_size(label: str) -> float:
+    m = re.fullmatch(r"(\d+(?:\.\d+)?)([KM]?)", label)
+    if not m:
+        return float("nan")
+    value = float(m.group(1))
+    return value * {"": 1, "K": 1024, "M": 1024 * 1024}[m.group(2)]
+
+
+def parse_tables(text: str):
+    """Yield (title, columns, rows) for every '# <title>' table."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].startswith("# ") and i + 1 < len(lines):
+            title = lines[i][2:].strip()
+            header = lines[i + 1].split()
+            if len(header) < 2:
+                i += 1
+                continue
+            columns = header[1:]
+            rows = []
+            j = i + 2
+            while j < len(lines):
+                parts = lines[j].split()
+                if len(parts) != len(columns) + 1:
+                    break
+                try:
+                    x = parse_size(parts[0])
+                    ys = [float(v) for v in parts[1:]]
+                except ValueError:
+                    break
+                rows.append((parts[0], x, ys))
+                j += 1
+            if rows:
+                yield title, columns, rows
+            i = j
+        else:
+            i += 1
+
+
+def plot(title, columns, rows):
+    xs = [r[1] for r in rows if r[1] > 0]
+    ys = [y for r in rows for y in r[2] if y > 0]
+    if not xs or not ys:
+        return
+    lx0, lx1 = math.log10(min(xs)), math.log10(max(xs))
+    ly0, ly1 = math.log10(min(ys)), math.log10(max(ys))
+    if lx1 == lx0:
+        lx1 = lx0 + 1
+    if ly1 == ly0:
+        ly1 = ly0 + 1
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for _, x, vals in rows:
+        if x <= 0:
+            continue
+        col = int((math.log10(x) - lx0) / (lx1 - lx0) * (WIDTH - 1))
+        for k, y in enumerate(vals):
+            if y <= 0:
+                continue
+            row = int((math.log10(y) - ly0) / (ly1 - ly0) * (HEIGHT - 1))
+            r = HEIGHT - 1 - row
+            cell = grid[r][col]
+            grid[r][col] = MARKS[k % len(MARKS)] if cell == " " else "!"
+    print(f"\n== {title}")
+    legend = "   ".join(f"{MARKS[k % len(MARKS)]}={c}" for k, c in enumerate(columns))
+    print(f"   [{legend}]  ('!' = overlap)")
+    print(f"   y: 10^{ly0:.1f} .. 10^{ly1:.1f} (log)")
+    for r in range(HEIGHT):
+        print("   |" + "".join(grid[r]))
+    print("   +" + "-" * WIDTH)
+    print(f"    x: 10^{lx0:.1f} .. 10^{lx1:.1f} bytes (log)")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    text = open(sys.argv[1]).read()
+    want = sys.argv[2] if len(sys.argv) > 2 else None
+    shown = 0
+    for title, columns, rows in parse_tables(text):
+        if want and want not in title:
+            continue
+        plot(title, columns, rows)
+        shown += 1
+    if shown == 0:
+        print("no matching tables found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
