@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) used by the
+// reliable-delivery protocol to detect payload/header corruption injected
+// by the netsim fault layer (and, on a real wire, by the link itself).
+//
+// Header-only; the table is built once at first use. The incremental form
+// (pass the previous value as `seed`) lets the worker checksum
+// header + payload without concatenating them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mpicd {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+// Incremental CRC-32: crc32(b, crc32(a)) == crc32(a ++ b).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n,
+                                         std::uint32_t seed = 0) {
+    const auto& table = detail::crc32_table();
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace mpicd

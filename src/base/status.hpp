@@ -32,6 +32,8 @@ enum class Status : std::int32_t {
     err_internal,     // invariant violation inside the library
     err_no_match,     // probe with no matching message (internal use)
     err_serialize,    // serialization substrate failure (bad stream, etc.)
+    // Reliable-delivery protocol (see docs/FAULTS.md).
+    timeout,          // retransmit retries exhausted / peer unreachable
 };
 
 [[nodiscard]] constexpr const char* to_cstring(Status s) noexcept {
@@ -53,6 +55,7 @@ enum class Status : std::int32_t {
         case Status::err_internal: return "internal error";
         case Status::err_no_match: return "no matching message";
         case Status::err_serialize: return "serialization error";
+        case Status::timeout: return "operation timed out";
     }
     return "unknown status";
 }

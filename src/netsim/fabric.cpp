@@ -6,14 +6,82 @@
 
 namespace mpicd::netsim {
 
-Fabric::Fabric(int num_endpoints, WireParams params)
+Fabric::Fabric(int num_endpoints, WireParams params, FaultConfig faults)
     : params_(params),
       inboxes_(static_cast<std::size_t>(num_endpoints)),
       link_free_at_(static_cast<std::size_t>(num_endpoints) *
                         static_cast<std::size_t>(num_endpoints) *
                         static_cast<std::size_t>(std::max(1, params.rails)),
-                    0.0) {
+                    0.0),
+      injector_(num_endpoints, faults),
+      limbo_(static_cast<std::size_t>(num_endpoints) *
+             static_cast<std::size_t>(num_endpoints)) {
     assert(num_endpoints > 0);
+}
+
+void Fabric::push_locked(Packet&& pkt) {
+    inboxes_[static_cast<std::size_t>(pkt.dst)].q.push_back(std::move(pkt));
+}
+
+void Fabric::deliver_locked(Packet&& pkt) {
+    if (!injector_.active()) {
+        push_locked(std::move(pkt));
+        return;
+    }
+    const auto d = injector_.decide(
+        pkt.src, pkt.dst, pkt.kind,
+        static_cast<std::uint64_t>(pkt.header.size() + pkt.payload.size()));
+    pkt.arrival += d.extra_delay_us;
+    if (d.corrupt) {
+        // Flip one bit of the concatenated header+payload bytes. The crc
+        // field is deliberately left intact so the receiver can detect the
+        // damage (a corrupted on-wire CRC is equivalent to a drop anyway).
+        std::uint64_t i = d.corrupt_byte;
+        std::byte* b = nullptr;
+        if (i < pkt.header.size()) {
+            b = &pkt.header[static_cast<std::size_t>(i)];
+        } else if (i - pkt.header.size() < pkt.payload.size()) {
+            b = &pkt.payload[static_cast<std::size_t>(i - pkt.header.size())];
+        }
+        if (b != nullptr) *b ^= static_cast<std::byte>(1u << d.corrupt_bit);
+    }
+    // A packet leaving limbo has waited for exactly one successor on its
+    // link; release it after the current packet is enqueued (the swap).
+    const std::size_t l = static_cast<std::size_t>(pkt.src) * inboxes_.size() +
+                          static_cast<std::size_t>(pkt.dst);
+    std::optional<Packet> release;
+    if (limbo_[l].has_value()) {
+        release = std::move(*limbo_[l]);
+        limbo_[l].reset();
+    }
+    if (!d.drop) {
+        if (d.duplicate) {
+            Packet copy = pkt; // same link_seq/crc: receiver dedups
+            copy.arrival += params_.latency_us;
+            copy.seq = next_seq_++;
+            if (d.reorder) {
+                limbo_[l] = std::move(pkt);
+                push_locked(std::move(copy));
+            } else {
+                push_locked(std::move(pkt));
+                push_locked(std::move(copy));
+            }
+        } else if (d.reorder) {
+            limbo_[l] = std::move(pkt);
+        } else {
+            push_locked(std::move(pkt));
+        }
+    }
+    if (release.has_value()) push_locked(std::move(*release));
+}
+
+void Fabric::flush_limbo_locked(int ep) {
+    for (auto& slot : limbo_) {
+        if (slot.has_value() && slot->dst == ep) {
+            push_locked(std::move(*slot));
+            slot.reset();
+        }
+    }
 }
 
 SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
@@ -26,7 +94,7 @@ SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
     pkt.arrival = end + params_.latency_us;
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
-    inboxes_[static_cast<std::size_t>(pkt.dst)].q.push_back(std::move(pkt));
+    deliver_locked(std::move(pkt));
     lock.unlock();
     cv_.notify_all();
     return arrival;
@@ -37,7 +105,7 @@ SimTime Fabric::transmit_control(Packet&& pkt, SimTime ready) {
     pkt.arrival = ready + params_.latency_us;
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
-    inboxes_[static_cast<std::size_t>(pkt.dst)].q.push_back(std::move(pkt));
+    deliver_locked(std::move(pkt));
     lock.unlock();
     cv_.notify_all();
     return arrival;
@@ -46,7 +114,12 @@ SimTime Fabric::transmit_control(Packet&& pkt, SimTime ready) {
 std::optional<Packet> Fabric::poll(int ep) {
     const std::lock_guard<std::mutex> lock(mutex_);
     auto& inbox = inboxes_[static_cast<std::size_t>(ep)];
-    if (inbox.q.empty()) return std::nullopt;
+    if (inbox.q.empty()) {
+        // An empty poll releases any reorder-limbo packet for this
+        // endpoint so a held packet can never be delayed unboundedly.
+        flush_limbo_locked(ep);
+        if (inbox.q.empty()) return std::nullopt;
+    }
     Packet pkt = std::move(inbox.q.front());
     inbox.q.pop_front();
     return pkt;
@@ -55,6 +128,7 @@ std::optional<Packet> Fabric::poll(int ep) {
 Packet Fabric::poll_blocking(int ep) {
     std::unique_lock<std::mutex> lock(mutex_);
     auto& inbox = inboxes_[static_cast<std::size_t>(ep)];
+    if (inbox.q.empty()) flush_limbo_locked(ep);
     cv_.wait(lock, [&] { return !inbox.q.empty(); });
     Packet pkt = std::move(inbox.q.front());
     inbox.q.pop_front();
@@ -63,7 +137,9 @@ Packet Fabric::poll_blocking(int ep) {
 
 bool Fabric::inbox_empty(int ep) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return inboxes_[static_cast<std::size_t>(ep)].q.empty();
+    auto& inbox = inboxes_[static_cast<std::size_t>(ep)];
+    if (inbox.q.empty()) flush_limbo_locked(ep);
+    return inbox.q.empty();
 }
 
 SimTime Fabric::rdma_write(int src_ep, int dst_ep, const void* src, void* dst,

@@ -20,6 +20,7 @@
 
 #include "base/bytes.hpp"
 #include "base/time.hpp"
+#include "netsim/fault.hpp"
 #include "netsim/wire_model.hpp"
 
 namespace mpicd::netsim {
@@ -40,7 +41,11 @@ private:
 };
 
 // A packet on the simulated wire. `kind` and `header` are opaque to the
-// fabric; the ucx layer defines them.
+// fabric; the ucx layer defines them. The reliability fields (link_seq,
+// crc, needs_ack) are likewise opaque: they are written by the ucx
+// reliable-delivery layer and merely carried by the fabric. The fault
+// injector may corrupt `header`/`payload` bytes but never the crc field —
+// exactly the property that lets the receiver detect the corruption.
 struct Packet {
     int src = -1;
     int dst = -1;
@@ -49,14 +54,28 @@ struct Packet {
     ByteVec payload;     // bulk payload carried by the wire (may be empty)
     SimTime arrival = 0; // virtual arrival time at the destination
     std::uint64_t seq = 0;
+    // Reliable-delivery fields (see src/ucx/worker.cpp, docs/FAULTS.md).
+    std::uint64_t link_seq = 0; // per-sender sequence number (0 = unnumbered)
+    std::uint32_t crc = 0;      // CRC-32 over kind + link_seq + header + payload
+    bool needs_ack = false;     // receiver must acknowledge this packet
 };
 
 class Fabric {
 public:
-    Fabric(int num_endpoints, WireParams params);
+    Fabric(int num_endpoints, WireParams params,
+           FaultConfig faults = FaultConfig::from_env());
 
     [[nodiscard]] int size() const noexcept { return static_cast<int>(inboxes_.size()); }
     [[nodiscard]] const WireParams& params() const noexcept { return params_; }
+
+    // Fault-injection stage (inert by default). Tests use this to install
+    // deterministic fault schedules before starting traffic.
+    [[nodiscard]] FaultInjector& faults() noexcept { return injector_; }
+    // True when the ucx layer must run its ack/CRC/retransmit protocol.
+    [[nodiscard]] bool reliable() noexcept {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return injector_.reliable();
+    }
 
     // Transmit a packet. `ready` is the sender's virtual time when the
     // packet is handed to the NIC; `wire_bytes` the number of bytes that
@@ -100,6 +119,15 @@ private:
         std::deque<Packet> q;
     };
 
+    // Run the fault-injection stage and enqueue the packet (and any
+    // duplicate / released reorder-limbo packet). Caller holds mutex_.
+    void deliver_locked(Packet&& pkt);
+    void push_locked(Packet&& pkt);
+    // Release any reorder-limbo packet destined to `ep`. Caller holds
+    // mutex_. Guarantees a held packet is delayed by at most one poll
+    // round even when no further traffic crosses its link.
+    void flush_limbo_locked(int ep);
+
     [[nodiscard]] std::size_t link_index(int src, int dst, int rail) const {
         return (static_cast<std::size_t>(src) * inboxes_.size() +
                 static_cast<std::size_t>(dst)) *
@@ -111,6 +139,10 @@ private:
     std::vector<Inbox> inboxes_;
     std::vector<SimTime> link_free_at_; // [(src*n + dst)*rails + rail]
     std::uint64_t next_seq_ = 0;
+    FaultInjector injector_;
+    // Reorder limbo: at most one held packet per (src, dst) link, released
+    // after the next packet on the link (or on an empty poll).
+    std::vector<std::optional<Packet>> limbo_; // [src*n + dst]
     std::mutex mutex_;
     std::condition_variable cv_;
 };

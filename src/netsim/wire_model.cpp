@@ -22,6 +22,10 @@ WireParams WireParams::from_env() {
     p.frag_overhead_us = env_double_or("MPICD_FRAG_OVERHEAD_US", p.frag_overhead_us);
     p.rails = static_cast<int>(env_int_or("MPICD_RAILS", p.rails));
     if (p.rails < 1) p.rails = 1;
+    p.rto_us = env_double_or("MPICD_RTO_US", p.rto_us);
+    p.max_retries = static_cast<int>(env_int_or("MPICD_MAX_RETRIES", p.max_retries));
+    if (p.max_retries < 0) p.max_retries = 0;
+    p.op_timeout_us = env_double_or("MPICD_OP_TIMEOUT_US", p.op_timeout_us);
     return p;
 }
 

@@ -44,9 +44,24 @@ struct WireParams {
     // potential out-of-order optimizations in advanced implementations").
     int rails = 2;
 
+    // --- Reliable-delivery protocol (active only when the fault injector
+    // is active or MPICD_RELIABLE=1; see docs/FAULTS.md). ---
+    // Initial retransmit timeout in virtual us (MPICD_RTO_US); doubles on
+    // every retry (exponential backoff).
+    SimTime rto_us = 50.0;
+    // Retransmit attempts before the request fails with Status::timeout
+    // (MPICD_MAX_RETRIES).
+    int max_retries = 8;
+    // Receiver-side watchdog for an in-flight rendezvous operation: if no
+    // packet for the operation arrives within this virtual interval, the
+    // receive fails with Status::timeout instead of hanging
+    // (MPICD_OP_TIMEOUT_US; 0 = derive from rto_us and max_retries).
+    SimTime op_timeout_us = 0.0;
+
     // Read MPICD_LATENCY_US, MPICD_BANDWIDTH_GBPS, MPICD_SG_ENTRY_US,
     // MPICD_HOST_COPY_GBPS, MPICD_EAGER_THRESHOLD, MPICD_RNDV_FRAG_SIZE,
-    // MPICD_RNDV_CTRL_US, MPICD_FRAG_OVERHEAD_US.
+    // MPICD_RNDV_CTRL_US, MPICD_FRAG_OVERHEAD_US, MPICD_RTO_US,
+    // MPICD_MAX_RETRIES, MPICD_OP_TIMEOUT_US.
     [[nodiscard]] static WireParams from_env();
 
     // Pure helpers (no link-contention state; see Fabric for serialization).
@@ -58,6 +73,14 @@ struct WireParams {
     }
     [[nodiscard]] SimTime host_copy_time(Count bytes) const {
         return static_cast<double>(bytes) / host_copy_Bpus;
+    }
+    // Effective receiver-side operation watchdog: explicitly configured, or
+    // the worst-case span of a full retransmit backoff sequence plus slack.
+    [[nodiscard]] SimTime effective_op_timeout() const {
+        if (op_timeout_us > 0.0) return op_timeout_us;
+        SimTime total = 0.0, rto = rto_us;
+        for (int i = 0; i <= max_retries; ++i, rto *= 2.0) total += rto;
+        return 2.0 * total + 100.0 * latency_us;
     }
 };
 

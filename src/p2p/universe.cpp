@@ -1,13 +1,17 @@
 #include "p2p/universe.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 #include "p2p/communicator.hpp"
 
 namespace mpicd::p2p {
 
-Universe::Universe(int nranks, netsim::WireParams params)
-    : fabric_(nranks, params) {
+Universe::Universe(int nranks, netsim::WireParams params,
+                   netsim::FaultConfig faults)
+    : fabric_(nranks, params, faults) {
     assert(nranks > 0);
     workers_.reserve(static_cast<std::size_t>(nranks));
     comms_.reserve(static_cast<std::size_t>(nranks));
@@ -30,6 +34,15 @@ Communicator& Universe::comm(int rank) {
 
 bool Universe::progress_all() {
     bool any = false;
+    for (auto& w : workers_) any = w->progress() || any;
+    if (any || !fabric_.reliable()) return any;
+    // Quiescent fabric with the reliable protocol armed: the only way
+    // forward is a virtual-time timer (retransmit deadline or operation
+    // watchdog). Jump every clock to the earliest one and progress again.
+    SimTime t = std::numeric_limits<SimTime>::infinity();
+    for (auto& w : workers_) t = std::min(t, w->next_timer());
+    if (!std::isfinite(t)) return false;
+    for (auto& w : workers_) w->observe_time(t);
     for (auto& w : workers_) any = w->progress() || any;
     return any;
 }

@@ -20,7 +20,8 @@ class Communicator;
 class Universe {
 public:
     explicit Universe(int nranks,
-                      netsim::WireParams params = netsim::WireParams::from_env());
+                      netsim::WireParams params = netsim::WireParams::from_env(),
+                      netsim::FaultConfig faults = netsim::FaultConfig::from_env());
     ~Universe();
     Universe(const Universe&) = delete;
     Universe& operator=(const Universe&) = delete;
@@ -36,7 +37,10 @@ public:
     [[nodiscard]] netsim::Fabric& fabric() noexcept { return fabric_; }
 
     // Progress every rank's protocol engine once; returns true if any
-    // packet was handled anywhere.
+    // packet was handled anywhere. When the fabric is quiescent but
+    // reliable-delivery timers are pending (a packet was lost), jumps
+    // virtual time to the earliest timer so retransmission/timeout always
+    // makes progress — a lost packet can never stall the simulation.
     bool progress_all();
 
 private:

@@ -1,0 +1,20 @@
+// Wire packet kinds of the ucx protocol layer.
+//
+// Public (rather than private to worker.cpp) so that the fault-injection
+// test harness can schedule faults against specific protocol packets
+// ("corrupt byte 7 of the RTS", "drop the 2nd FRAG on link 0->1") via
+// netsim::ScheduledFault::kind_filter.
+#pragma once
+
+#include <cstdint>
+
+namespace mpicd::ucx::wire {
+
+inline constexpr std::uint16_t kEager = 1; // tag + full payload, one packet
+inline constexpr std::uint16_t kRts = 2;   // rendezvous request-to-send
+inline constexpr std::uint16_t kCts = 3;   // rendezvous clear-to-send
+inline constexpr std::uint16_t kFin = 4;   // rendezvous completion notice
+inline constexpr std::uint16_t kFrag = 5;  // pipelined rendezvous fragment
+inline constexpr std::uint16_t kAck = 6;   // reliable-delivery acknowledgment
+
+} // namespace mpicd::ucx::wire

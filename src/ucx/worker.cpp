@@ -2,19 +2,23 @@
 
 #include <cassert>
 #include <cstring>
+#include <limits>
+#include <map>
 
+#include "base/crc32.hpp"
 #include "base/log.hpp"
 
 namespace mpicd::ucx {
 
 namespace {
 
-// Packet kinds on the simulated wire.
-constexpr std::uint16_t kEager = 1;
-constexpr std::uint16_t kRts = 2;
-constexpr std::uint16_t kCts = 3;
-constexpr std::uint16_t kFin = 4;
-constexpr std::uint16_t kFrag = 5;
+// Packet kinds on the simulated wire (public: ucx/wire.hpp).
+using wire::kAck;
+using wire::kCts;
+using wire::kEager;
+using wire::kFin;
+using wire::kFrag;
+using wire::kRts;
 
 enum class CtsMode : std::uint32_t { rdma = 1, pipeline = 2, abort = 3 };
 
@@ -49,6 +53,23 @@ struct FragHeader {
     Count msg_total;
     std::uint32_t last;
 };
+
+struct AckHeader {
+    std::uint64_t acked_seq; // link_seq of the packet being acknowledged
+};
+
+// CRC-32 over kind + link_seq + header + payload. The fabric's fault layer
+// can flip header/payload bits; any single-bit (in fact any <=32-bit burst)
+// change is guaranteed to alter this value.
+[[nodiscard]] std::uint32_t packet_crc(const netsim::Packet& pkt) {
+    // Padding-free identity prefix (a struct would CRC indeterminate
+    // padding bytes and break sender/receiver agreement).
+    const std::uint64_t id[2] = {pkt.kind, pkt.link_seq};
+    std::uint32_t c = crc32(id, sizeof(id));
+    c = crc32(pkt.header.data(), pkt.header.size(), c);
+    c = crc32(pkt.payload.data(), pkt.payload.size(), c);
+    return c;
+}
 
 template <typename H>
 ByteVec encode_header(const H& h) {
@@ -89,6 +110,16 @@ struct Worker::Request {
     std::uint64_t op_id = 0; // rendezvous protocol id
     bool done = false;
     Completion comp;
+
+    // Reliable-delivery bookkeeping (unused when the protocol is off).
+    int unacked = 0;            // outgoing packets not yet acknowledged
+    bool finish_on_ack = false; // complete with fin_* once unacked hits 0
+    Status fin_status = Status::success;
+    Count fin_len = 0;
+    SimTime op_deadline = 0.0;  // recv-side rendezvous watchdog (0 = none)
+    // Fragments that arrived past a gap while the sink requires in-order
+    // unpacking (only possible under the reliable protocol), by offset.
+    std::map<Count, ByteVec> frag_stash;
 };
 
 struct Worker::Unexpected {
@@ -133,6 +164,213 @@ void Worker::complete_locked(Request& rq, Status st, Count len, Tag sender_tag) 
     // lifetime (the paper frees the state object on operation completion).
     rq.source.reset();
     rq.sink.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Reliable-delivery sublayer
+//
+// Active only when the fabric's fault injector is active (or MPICD_RELIABLE
+// forces it); otherwise every hook below reduces to the lossless seed
+// behaviour, byte-for-byte. See docs/FAULTS.md for the state machine.
+
+void Worker::refresh_reliable_locked() {
+    // Latch: reliability can switch on (fault schedule installed after
+    // construction) but never off mid-run, so both peers stay in protocol.
+    if (!reliable_ && fabric_.reliable()) reliable_ = true;
+}
+
+void Worker::send_packet_locked(netsim::Packet&& pkt, SimTime ready,
+                                Count wire_bytes, Count sg_entries, int rail,
+                                bool control, Request* owner) {
+    refresh_reliable_locked();
+    if (!reliable_) {
+        if (control) {
+            fabric_.transmit_control(std::move(pkt), ready);
+        } else {
+            fabric_.transmit(std::move(pkt), ready, wire_bytes, sg_entries, rail);
+        }
+        return;
+    }
+    pkt.link_seq = next_link_seq_++;
+    pkt.needs_ack = true;
+    pkt.crc = packet_crc(pkt);
+    PendingTx ptx;
+    ptx.pkt = pkt; // retransmit copy (header + payload)
+    ptx.control = control;
+    ptx.wire_bytes = wire_bytes;
+    ptx.sg_entries = sg_entries;
+    ptx.rail = rail;
+    ptx.rto = params_.rto_us;
+    if (owner != nullptr) {
+        ptx.owner = owner->id;
+        ++owner->unacked;
+    }
+    const std::uint64_t seq = pkt.link_seq;
+    const SimTime arrival =
+        control ? fabric_.transmit_control(std::move(pkt), ready)
+                : fabric_.transmit(std::move(pkt), ready, wire_bytes, sg_entries,
+                                   rail);
+    // Time the first retransmit from the expected ack arrival (the packet's
+    // own arrival includes link queueing) rather than from the send, so
+    // back-to-back fragment bursts do not trigger spurious retransmits.
+    ptx.next_retry = arrival + params_.latency_us + ptx.rto;
+    pending_tx_.emplace(seq, std::move(ptx));
+}
+
+bool Worker::admit_packet_locked(netsim::Packet& pkt) {
+    if (pkt.kind == kAck) {
+        handle_ack_locked(pkt);
+        return false;
+    }
+    if (pkt.link_seq == 0) return true; // unnumbered: reliability off
+    refresh_reliable_locked();
+    clock_.observe(pkt.arrival);
+    if (packet_crc(pkt) != pkt.crc) {
+        // Corrupted in flight: discard without ack; the sender retransmits.
+        ++stats_.corruption_detected;
+        return false;
+    }
+    if (!seen_[pkt.src].insert(pkt.link_seq).second) {
+        // Duplicate (fault-injected, or a retransmit whose original ack was
+        // lost): suppress, but re-ack so the sender stops retrying.
+        ++stats_.duplicates_suppressed;
+        send_ack_locked(pkt);
+        return false;
+    }
+    if (pkt.needs_ack) send_ack_locked(pkt);
+    return true;
+}
+
+void Worker::send_ack_locked(const netsim::Packet& pkt) {
+    netsim::Packet ack;
+    ack.src = ep_;
+    ack.dst = pkt.src;
+    ack.kind = kAck;
+    ack.header = encode_header(AckHeader{pkt.link_seq});
+    ack.crc = packet_crc(ack); // acks are CRC'd too, but never acked
+    ++stats_.acks_sent;
+    fabric_.transmit_control(std::move(ack), clock_.now());
+}
+
+void Worker::handle_ack_locked(const netsim::Packet& pkt) {
+    clock_.observe(pkt.arrival);
+    if (packet_crc(pkt) != pkt.crc) {
+        // A corrupted ack is dropped; the data retransmit will be re-acked.
+        ++stats_.corruption_detected;
+        return;
+    }
+    const auto h = decode_header<AckHeader>(pkt.header);
+    const auto it = pending_tx_.find(h.acked_seq);
+    if (it == pending_tx_.end()) return; // stale or duplicate ack
+    ++stats_.acks_received;
+    const RequestId owner = it->second.owner;
+    pending_tx_.erase(it);
+    if (owner == kInvalidRequest) return;
+    const auto rit = requests_.find(owner);
+    if (rit == requests_.end() || rit->second->done) return;
+    Request& rq = *rit->second;
+    if (rq.unacked > 0) --rq.unacked;
+    if (rq.finish_on_ack && rq.unacked == 0)
+        complete_locked(rq, rq.fin_status, rq.fin_len, 0);
+}
+
+void Worker::fail_request_locked(RequestId id, Status st) {
+    if (id == kInvalidRequest) return;
+    const auto it = requests_.find(id);
+    if (it == requests_.end() || it->second->done) return;
+    Request& rq = *it->second;
+    // Release every piece of protocol state that still references the
+    // request so nothing dangles and idle() converges.
+    if (rq.op_id != 0) {
+        rndv_sends_.erase(rq.op_id);
+        rndv_recvs_.erase(rq.op_id);
+    }
+    for (auto p = posted_recvs_.begin(); p != posted_recvs_.end(); ++p) {
+        if (*p == id) {
+            posted_recvs_.erase(p);
+            break;
+        }
+    }
+    for (auto p = pending_tx_.begin(); p != pending_tx_.end();) {
+        p = (p->second.owner == id) ? pending_tx_.erase(p) : std::next(p);
+    }
+    complete_locked(rq, st, rq.bytes_received, rq.comp.sender_tag);
+}
+
+bool Worker::fire_timers_locked() {
+    if (pending_tx_.empty() && rndv_recvs_.empty()) return false;
+    bool fired = false;
+    const SimTime now = clock_.now();
+    // Collect first: failing a request sweeps pending_tx_, which would
+    // invalidate iterators of a live loop.
+    std::vector<std::uint64_t> due, exhausted;
+    for (const auto& [seq, ptx] : pending_tx_) {
+        if (ptx.next_retry > now) continue;
+        (ptx.retries >= params_.max_retries ? exhausted : due).push_back(seq);
+    }
+    for (const std::uint64_t seq : due) {
+        auto& ptx = pending_tx_.at(seq);
+        ++ptx.retries;
+        ++stats_.retransmits;
+        ptx.rto *= 2.0; // exponential backoff in virtual time
+        netsim::Packet copy = ptx.pkt;
+        const SimTime arrival =
+            ptx.control ? fabric_.transmit_control(std::move(copy), now)
+                        : fabric_.transmit(std::move(copy), now, ptx.wire_bytes,
+                                           ptx.sg_entries, ptx.rail);
+        ptx.next_retry = arrival + params_.latency_us + ptx.rto;
+        fired = true;
+    }
+    for (const std::uint64_t seq : exhausted) {
+        const auto it = pending_tx_.find(seq);
+        if (it == pending_tx_.end()) continue; // removed by an earlier failure
+        const RequestId owner = it->second.owner;
+        pending_tx_.erase(it);
+        ++stats_.timeouts;
+        fail_request_locked(owner, Status::timeout);
+        fired = true;
+    }
+    // Receiver-side rendezvous watchdog: an in-flight operation whose peer
+    // went silent past the whole retransmit envelope fails instead of
+    // hanging the progress loop forever.
+    if (!rndv_recvs_.empty()) {
+        std::vector<RequestId> expired;
+        for (const auto& [op, rid] : rndv_recvs_) {
+            const auto rit = requests_.find(rid);
+            if (rit == requests_.end() || rit->second->done) continue;
+            const Request& rq = *rit->second;
+            if (rq.op_deadline > 0.0 && rq.op_deadline <= now)
+                expired.push_back(rid);
+        }
+        for (const RequestId rid : expired) {
+            ++stats_.timeouts;
+            fail_request_locked(rid, Status::timeout);
+            fired = true;
+        }
+    }
+    return fired;
+}
+
+SimTime Worker::next_timer_locked() const {
+    SimTime t = std::numeric_limits<SimTime>::infinity();
+    for (const auto& [seq, ptx] : pending_tx_) t = std::min(t, ptx.next_retry);
+    for (const auto& [op, rid] : rndv_recvs_) {
+        const auto rit = requests_.find(rid);
+        if (rit == requests_.end() || rit->second->done) continue;
+        if (rit->second->op_deadline > 0.0)
+            t = std::min(t, rit->second->op_deadline);
+    }
+    return t;
+}
+
+SimTime Worker::next_timer() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return next_timer_locked();
+}
+
+void Worker::observe_time(SimTime t) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    clock_.observe(t);
 }
 
 // ---------------------------------------------------------------------------
@@ -191,10 +429,20 @@ void Worker::start_send_locked(Request& rq) {
         pkt.kind = kEager;
         pkt.header = encode_header(EagerHeader{rq.tag, total});
         pkt.payload = std::move(payload);
-        fabric_.transmit(std::move(pkt), clock_.now(), total, rq.source->sg_entries());
+        send_packet_locked(std::move(pkt), clock_.now(), total,
+                           rq.source->sg_entries(), /*rail=*/0,
+                           /*control=*/false, &rq);
         ++stats_.eager_sends;
         stats_.bytes_sent += static_cast<std::uint64_t>(total);
-        complete_locked(rq, Status::success, total, 0);
+        if (reliable_) {
+            // Reliable mode: the send completes when the packet is
+            // acknowledged (or fails with Status::timeout).
+            rq.finish_on_ack = true;
+            rq.fin_status = Status::success;
+            rq.fin_len = total;
+        } else {
+            complete_locked(rq, Status::success, total, 0);
+        }
         return;
     }
 
@@ -209,7 +457,9 @@ void Worker::start_send_locked(Request& rq) {
     pkt.dst = rq.peer;
     pkt.kind = kRts;
     pkt.header = encode_header(RtsHeader{rq.tag, rq.op_id, total});
-    fabric_.transmit_control(std::move(pkt), clock_.now() + params_.rndv_ctrl_us);
+    send_packet_locked(std::move(pkt), clock_.now() + params_.rndv_ctrl_us,
+                       /*wire_bytes=*/0, /*sg_entries=*/1, /*rail=*/0,
+                       /*control=*/true, &rq);
 }
 
 // ---------------------------------------------------------------------------
@@ -285,7 +535,8 @@ void Worker::match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_
         pkt.dst = src;
         pkt.kind = kCts;
         pkt.header = encode_header(CtsHeader{sender_op, 0, CtsMode::abort, 0});
-        fabric_.transmit_control(std::move(pkt), clock_.now());
+        send_packet_locked(std::move(pkt), clock_.now(), 0, 1, 0,
+                           /*control=*/true, nullptr);
         return;
     }
     if (total_len > rq.sink->capacity()) {
@@ -295,7 +546,8 @@ void Worker::match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_
         pkt.dst = src;
         pkt.kind = kCts;
         pkt.header = encode_header(CtsHeader{sender_op, 0, CtsMode::abort, 0});
-        fabric_.transmit_control(std::move(pkt), clock_.now());
+        send_packet_locked(std::move(pkt), clock_.now(), 0, 1, 0,
+                           /*control=*/true, nullptr);
         return;
     }
 
@@ -326,7 +578,13 @@ void Worker::send_cts_locked(Request& rq, int src, std::uint64_t sender_op) {
         pkt.header =
             encode_header(CtsHeader{sender_op, rq.op_id, CtsMode::pipeline, ooo_ok});
     }
-    fabric_.transmit_control(std::move(pkt), clock_.now() + params_.rndv_ctrl_us);
+    send_packet_locked(std::move(pkt), clock_.now() + params_.rndv_ctrl_us, 0, 1, 0,
+                       /*control=*/true, &rq);
+    if (reliable_) {
+        // Receiver-side watchdog: if the sender goes silent past the whole
+        // retransmit envelope, the operation fails with Status::timeout.
+        rq.op_deadline = clock_.now() + params_.effective_op_timeout();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -338,8 +596,14 @@ bool Worker::progress() {
         auto pkt = fabric_.poll(ep_);
         if (!pkt) break;
         const std::lock_guard<std::mutex> lock(mutex_);
-        handle_packet_locked(std::move(*pkt));
         did_work = true;
+        // The reliability filter may consume the packet (ack / duplicate /
+        // CRC failure) before it reaches the protocol state machines.
+        if (admit_packet_locked(*pkt)) handle_packet_locked(std::move(*pkt));
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        did_work = fire_timers_locked() || did_work;
     }
     return did_work;
 }
@@ -457,9 +721,16 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         fin.kind = kFin;
         fin.header = encode_header(
             FinHeader{h.recv_op, data_done, offset, static_cast<std::int32_t>(st)});
-        fabric_.transmit_control(std::move(fin), data_done);
+        send_packet_locked(std::move(fin), data_done, 0, 1, 0, /*control=*/true,
+                           &rq);
         ++stats_.rndv_rdma;
-        complete_locked(rq, st, offset, 0);
+        if (reliable_) {
+            rq.finish_on_ack = true;
+            rq.fin_status = st;
+            rq.fin_len = offset;
+        } else {
+            complete_locked(rq, st, offset, 0);
+        }
         return;
     }
 
@@ -488,9 +759,10 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         fp.kind = kFrag;
         fp.header = encode_header(FragHeader{h.recv_op, offset, total, last ? 1u : 0u});
         fp.payload = std::move(frag);
-        fabric_.transmit(std::move(fp), clock_.now() + params_.frag_overhead_us, used,
-                         rq.source->sg_entries(),
-                         stripe ? frag_idx % params_.rails : 0);
+        send_packet_locked(std::move(fp), clock_.now() + params_.frag_overhead_us,
+                           used, rq.source->sg_entries(),
+                           stripe ? frag_idx % params_.rails : 0,
+                           /*control=*/false, &rq);
         offset += used;
         ++frag_idx;
     }
@@ -502,10 +774,19 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         fp.kind = kFin;
         fp.header = encode_header(
             FinHeader{h.recv_op, clock_.now(), offset, static_cast<std::int32_t>(st)});
-        fabric_.transmit_control(std::move(fp), clock_.now());
+        send_packet_locked(std::move(fp), clock_.now(), 0, 1, 0, /*control=*/true,
+                           nullptr);
     }
     ++stats_.rndv_pipeline;
-    complete_locked(rq, st, offset, 0);
+    if (ok(st) && reliable_ && rq.unacked > 0) {
+        // Reliable mode: the pipelined send completes when every fragment
+        // is acknowledged (or fails with Status::timeout).
+        rq.finish_on_ack = true;
+        rq.fin_status = st;
+        rq.fin_len = offset;
+    } else {
+        complete_locked(rq, st, offset, 0);
+    }
 }
 
 void Worker::handle_fin_locked(netsim::Packet&& pkt) {
@@ -525,21 +806,49 @@ void Worker::handle_frag_locked(netsim::Packet&& pkt) {
     const auto it = rndv_recvs_.find(h.recv_op);
     if (it == rndv_recvs_.end()) return;
     Request& rq = *requests_.at(it->second);
+    // The stream is alive: push the operation watchdog out.
+    if (rq.op_deadline > 0.0)
+        rq.op_deadline = clock_.now() + params_.effective_op_timeout();
 
-    SimTime host_cost = 0.0;
-    const Status st = rq.sink->write(h.offset, pkt.payload, host_cost);
-    if (rq.sink->exposes_memory()) {
-        clock_.advance(params_.host_copy_time(static_cast<Count>(pkt.payload.size())));
-    } else {
-        clock_.advance(host_cost);
+    // An in-order sink cannot accept a fragment past a gap (a dropped
+    // fragment only arrives later, via retransmission): stash it and
+    // apply once the stream catches up.
+    if (h.offset != rq.bytes_received && !rq.sink->allows_out_of_order()) {
+        rq.frag_stash.emplace(h.offset, std::move(pkt.payload));
+        return;
     }
-    rq.bytes_received += static_cast<Count>(pkt.payload.size());
+
+    const auto apply = [&](Count offset, const ByteVec& bytes) {
+        SimTime host_cost = 0.0;
+        const Status wst = rq.sink->write(offset, bytes, host_cost);
+        if (rq.sink->exposes_memory()) {
+            clock_.advance(params_.host_copy_time(static_cast<Count>(bytes.size())));
+        } else {
+            clock_.advance(host_cost);
+        }
+        rq.bytes_received += static_cast<Count>(bytes.size());
+        return wst;
+    };
+
+    Status st = apply(h.offset, pkt.payload);
+    // Drain stashed fragments that the stream has now reached.
+    while (ok(st)) {
+        const auto sit = rq.frag_stash.find(rq.bytes_received);
+        if (sit == rq.frag_stash.end()) break;
+        const ByteVec bytes = std::move(sit->second);
+        rq.frag_stash.erase(sit);
+        st = apply(rq.bytes_received, bytes);
+    }
     if (!ok(st)) {
         rndv_recvs_.erase(h.recv_op);
         complete_locked(rq, st, rq.bytes_received, rq.comp.sender_tag);
         return;
     }
-    if (h.last != 0 || rq.bytes_received >= rq.expected_total) {
+    // Reliable mode: fragments may arrive with gaps (a dropped fragment is
+    // retransmitted later), so only the byte count decides completion; the
+    // `last` flag shortcut is valid only on the lossless FIFO fabric.
+    const bool all = rq.bytes_received >= rq.expected_total;
+    if (reliable_ ? all : (h.last != 0 || all)) {
         rndv_recvs_.erase(h.recv_op);
         complete_locked(rq, Status::success, rq.bytes_received, rq.comp.sender_tag);
     }
@@ -630,7 +939,8 @@ WorkerStats Worker::stats() {
 bool Worker::idle() {
     const std::lock_guard<std::mutex> lock(mutex_);
     return requests_.empty() && unexpected_.empty() && mprobed_.empty() &&
-           rndv_sends_.empty() && rndv_recvs_.empty() && posted_recvs_.empty();
+           rndv_sends_.empty() && rndv_recvs_.empty() && posted_recvs_.empty() &&
+           pending_tx_.empty();
 }
 
 } // namespace mpicd::ucx

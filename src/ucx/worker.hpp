@@ -25,6 +25,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/bytes.hpp"
@@ -33,6 +34,7 @@
 #include "netsim/fabric.hpp"
 #include "ucx/datatype.hpp"
 #include "ucx/engine.hpp"
+#include "ucx/wire.hpp"
 
 namespace mpicd::ucx {
 
@@ -56,7 +58,8 @@ struct ProbeInfo {
 };
 
 // Per-worker protocol counters (diagnostics; used by tests to assert which
-// protocol path a transfer took).
+// protocol path a transfer took and exactly what the reliable-delivery
+// protocol did under injected faults).
 struct WorkerStats {
     std::uint64_t eager_sends = 0;
     std::uint64_t rndv_sends = 0;
@@ -66,6 +69,14 @@ struct WorkerStats {
     std::uint64_t bytes_received = 0;
     std::uint64_t unexpected_msgs = 0; // messages queued before a recv matched
     std::uint64_t recv_completions = 0;
+    // Reliable-delivery protocol counters (all zero when the fault layer is
+    // inactive; see docs/FAULTS.md).
+    std::uint64_t retransmits = 0;            // packets re-sent after RTO expiry
+    std::uint64_t duplicates_suppressed = 0;  // already-seen link_seq discarded
+    std::uint64_t corruption_detected = 0;    // CRC mismatches discarded
+    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t timeouts = 0;               // ops failed with Status::timeout
 };
 
 // Handle returned by mprobe(): the matched message is removed from the
@@ -95,9 +106,18 @@ public:
     RequestId tag_send(int dst, Tag tag, BufferDesc desc);
     RequestId tag_recv(Tag tag, Tag mask, BufferDesc desc);
 
-    // Drain the endpoint inbox and advance protocol state machines.
-    // Returns true if any packet was processed.
+    // Drain the endpoint inbox, advance protocol state machines and fire
+    // any due reliable-delivery timers (retransmit / timeout).
+    // Returns true if any packet was processed or timer fired.
     bool progress();
+
+    // Earliest pending virtual-time timer (retransmit deadline or
+    // receiver-side operation watchdog); +infinity when none. Used by
+    // Universe::progress_all to jump virtual time when the fabric is
+    // quiescent so a lost packet can never stall the simulation.
+    [[nodiscard]] SimTime next_timer();
+    // Move this worker's clock forward to at least `t` (timer escalation).
+    void observe_time(SimTime t);
 
     [[nodiscard]] bool is_complete(RequestId id);
     // Retrieve (and erase) the completion record of a finished request.
@@ -136,6 +156,27 @@ private:
     void handle_fin_locked(netsim::Packet&& pkt);
     void handle_frag_locked(netsim::Packet&& pkt);
 
+    // --- Reliable-delivery sublayer (active only when the fault injector
+    // is active or MPICD_RELIABLE=1; see docs/FAULTS.md). ---
+    // Outgoing packet wrapper: numbers, checksums and records the packet
+    // for retransmission when the reliable protocol is on, then transmits.
+    void send_packet_locked(netsim::Packet&& pkt, SimTime ready, Count wire_bytes,
+                            Count sg_entries, int rail, bool control,
+                            Request* owner);
+    // Inbound filter: handles ACKs, verifies CRC, suppresses duplicates
+    // and acknowledges. Returns false when the packet was consumed.
+    bool admit_packet_locked(netsim::Packet& pkt);
+    void handle_ack_locked(const netsim::Packet& pkt);
+    void send_ack_locked(const netsim::Packet& pkt);
+    // Fire due retransmit timers and operation watchdogs; returns true if
+    // anything fired.
+    bool fire_timers_locked();
+    [[nodiscard]] SimTime next_timer_locked() const;
+    // Fail an in-flight request (retries exhausted / watchdog expired),
+    // releasing all protocol state that references it.
+    void fail_request_locked(RequestId id, Status st);
+    void refresh_reliable_locked();
+
     // Deliver a matched eager payload / RTS to a posted receive request.
     void match_eager_locked(Request& rq, Tag sender_tag, ByteVec&& payload,
                             SimTime arrival);
@@ -165,6 +206,29 @@ private:
     std::unordered_map<std::uint64_t, RequestId> rndv_sends_;
     // Receiver-side operations waiting for FIN/fragments, by receiver op id.
     std::unordered_map<std::uint64_t, RequestId> rndv_recvs_;
+
+    // --- Reliable-delivery state. ---
+    // Latched on: once the fabric reports a fault layer / forced
+    // reliability, this worker numbers and acknowledges packets for the
+    // rest of its lifetime (reliability never switches off mid-run).
+    bool reliable_ = false;
+    std::uint64_t next_link_seq_ = 1;
+    // Unacknowledged outgoing packets by link_seq: the retransmit copy and
+    // its backoff schedule in virtual time.
+    struct PendingTx {
+        netsim::Packet pkt;
+        bool control = false;
+        Count wire_bytes = 0;
+        Count sg_entries = 1;
+        int rail = 0;
+        int retries = 0;
+        SimTime rto = 0.0;        // current backoff interval
+        SimTime next_retry = 0.0; // virtual deadline for the next attempt
+        RequestId owner = kInvalidRequest;
+    };
+    std::unordered_map<std::uint64_t, PendingTx> pending_tx_;
+    // Per-source set of delivered link_seq values (duplicate suppression).
+    std::unordered_map<int, std::unordered_set<std::uint64_t>> seen_;
 
     WorkerStats stats_;
 };

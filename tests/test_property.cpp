@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "base/crc32.hpp"
 #include "dt/convertor.hpp"
 #include "dt/iovec.hpp"
 #include "dt/signature.hpp"
@@ -304,6 +305,63 @@ TEST_P(RandomPickle, RandomBytesNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPickle, ::testing::Range(0, 16));
+
+// --- CRC-32 detection properties (reliable-delivery protocol) ------------------
+
+// Any single-bit flip anywhere in a message changes the CRC: the reliable
+// protocol's corruption detector can never false-negative on the fault
+// injector's single-bit-flip fault class.
+TEST(CrcProperty, SingleBitFlipAlwaysDetected) {
+    std::mt19937 rng(0xC2C5u);
+    for (int trial = 0; trial < 64; ++trial) {
+        ByteVec msg(1 + rng() % 512);
+        for (auto& b : msg) b = static_cast<std::byte>(rng());
+        const std::uint32_t clean = crc32(msg.data(), msg.size());
+        // Exhaustive over small messages, sampled over large ones.
+        const std::size_t stride = msg.size() > 64 ? 1 + msg.size() / 61 : 1;
+        for (std::size_t byte = 0; byte < msg.size(); byte += stride) {
+            for (int bit = 0; bit < 8; ++bit) {
+                msg[byte] ^= static_cast<std::byte>(1u << bit);
+                EXPECT_NE(crc32(msg.data(), msg.size()), clean)
+                    << "byte " << byte << " bit " << bit;
+                msg[byte] ^= static_cast<std::byte>(1u << bit);
+            }
+        }
+        // Restored message must match the original CRC again.
+        EXPECT_EQ(crc32(msg.data(), msg.size()), clean);
+    }
+}
+
+// Single-byte corruption (any replacement value) is likewise always caught.
+TEST(CrcProperty, SingleByteCorruptionAlwaysDetected) {
+    std::mt19937 rng(0xBADCu);
+    for (int trial = 0; trial < 128; ++trial) {
+        ByteVec msg(1 + rng() % 256);
+        for (auto& b : msg) b = static_cast<std::byte>(rng());
+        const std::uint32_t clean = crc32(msg.data(), msg.size());
+        const std::size_t at = rng() % msg.size();
+        const std::byte old = msg[at];
+        std::byte repl = static_cast<std::byte>(rng());
+        if (repl == old) repl ^= std::byte{1};
+        msg[at] = repl;
+        EXPECT_NE(crc32(msg.data(), msg.size()), clean) << "trial " << trial;
+    }
+}
+
+// Incremental (seeded) computation equals one-shot computation — the
+// worker CRCs kind/seq, header and payload in separate calls.
+TEST(CrcProperty, IncrementalMatchesOneShot) {
+    std::mt19937 rng(0x1234u);
+    for (int trial = 0; trial < 32; ++trial) {
+        ByteVec msg(2 + rng() % 300);
+        for (auto& b : msg) b = static_cast<std::byte>(rng());
+        const std::uint32_t whole = crc32(msg.data(), msg.size());
+        const std::size_t cut = 1 + rng() % (msg.size() - 1);
+        const std::uint32_t part = crc32(msg.data() + cut, msg.size() - cut,
+                                         crc32(msg.data(), cut));
+        EXPECT_EQ(part, whole);
+    }
+}
 
 } // namespace
 } // namespace mpicd
