@@ -14,6 +14,7 @@
 #include "base/bytes.hpp"
 #include "base/stats.hpp"
 #include "base/time.hpp"
+#include "common.hpp"
 #include "coro/generator.hpp"
 
 namespace {
@@ -129,18 +130,25 @@ double run_state_machine(const Grid& g, Count frag_bytes, int reps) {
 } // namespace
 
 int main() {
-    std::printf("\n# Ablation A1: resumable NAS_LU_y packing (us per pack, "
-                "fragment = 64 KiB)\n");
-    std::printf("%-10s %14s %14s %14s\n", "payload", "full-pack", "coroutine",
-                "state-mach");
-    for (const Count target : {Count(64) << 10, Count(256) << 10, Count(1) << 20,
-                               Count(4) << 20}) {
+    using mpicd::bench::Table;
+    Table table("Ablation A1: resumable NAS_LU_y packing (us per pack, "
+                "fragment = 64 KiB)",
+                "payload", {"full-pack", "coroutine", "state-mach"});
+    const std::vector<Count> targets = {Count(64) << 10, Count(256) << 10,
+                                        Count(1) << 20, Count(4) << 20};
+    const std::size_t npoints = mpicd::bench::bench_limit(1, targets.size());
+    for (std::size_t i = 0; i < npoints; ++i) {
+        const Count target = targets[i];
         const Grid g(target);
-        const int reps = target > (1 << 20) ? 20 : 60;
-        std::printf("%-10lld %14.2f %14.2f %14.2f\n", g.payload(),
-                    run_full_pack(g, 64 << 10, reps), run_coroutine(g, 64 << 10, reps),
-                    run_state_machine(g, 64 << 10, reps));
+        const int reps = mpicd::bench::smoke_mode() ? 3
+                         : target > (1 << 20)       ? 20
+                                                    : 60;
+        table.add_row(mpicd::bench::size_label(g.payload()),
+                      {run_full_pack(g, 64 << 10, reps),
+                       run_coroutine(g, 64 << 10, reps),
+                       run_state_machine(g, 64 << 10, reps)});
     }
+    table.finish("ablation_coro_pack");
     std::printf("(full-pack copies twice; the resumable variants pack straight "
                 "into fragments)\n");
     return 0;

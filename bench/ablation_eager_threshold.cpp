@@ -11,7 +11,7 @@ int main() {
     Table table("Ablation A3: struct-simple manual-pack bandwidth (MB/s) vs eager "
                 "threshold",
                 "size", {"eager-8K", "eager-32K", "eager-128K"});
-    for (Count size = 2048; size <= (Count(1) << 20); size *= 2) {
+    for (Count size = 2048; size <= (smoke_mode() ? Count(8192) : Count(1) << 20); size *= 2) {
         const Count count = size / core::kScalarPack;
         const Count actual = count * core::kScalarPack;
         const int iters = iters_for(actual);
@@ -24,6 +24,6 @@ int main() {
         }
         table.add_row(size_label(actual), row);
     }
-    table.print();
+    table.finish("ablation_eager_threshold");
     return 0;
 }

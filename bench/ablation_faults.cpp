@@ -34,7 +34,7 @@ int main() {
                 "reliable delivery",
                 "size",
                 {"faults-off", "loss-0%", "loss-1%", "loss-2%", "loss-5%"});
-    for (Count size = 4 * 1024; size <= (Count(1) << 20); size *= 4) {
+    for (Count size = 4 * 1024; size <= (smoke_mode() ? Count(16) << 10 : Count(1) << 20); size *= 4) {
         std::vector<double> row;
         for (const Point& pt : points) {
             netsim::FaultConfig cfg;
@@ -60,6 +60,6 @@ int main() {
         }
         table.add_row(size_label(size), row);
     }
-    table.print();
+    table.finish("ablation_faults");
     return 0;
 }

@@ -40,7 +40,7 @@ int main() {
     const auto params = netsim::WireParams::from_env();
     Table table("Ablation A2: custom-type lowering, struct-simple (MB/s)", "size",
                 {"iov", "generic-pipeline"});
-    for (Count size = 1024; size <= (Count(1) << 22); size *= 4) {
+    for (Count size = 1024; size <= (smoke_mode() ? Count(4096) : Count(1) << 22); size *= 4) {
         const Count count = size / core::kScalarPack;
         const Count actual = count * core::kScalarPack;
         const int iters = iters_for(actual);
@@ -58,6 +58,6 @@ int main() {
                 .mean()));
         table.add_row(size_label(actual), row);
     }
-    table.print();
+    table.finish("ablation_lowering");
     return 0;
 }

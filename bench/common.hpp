@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/config.hpp"
 #include "base/stats.hpp"
 #include "base/time.hpp"
 #include "p2p/communicator.hpp"
@@ -17,9 +18,18 @@
 
 namespace mpicd::bench {
 
+// MPICD_BENCH_SMOKE=1 shrinks every bench to a seconds-scale sanity run
+// (fewest sizes, one repetition, few iterations) — used by the bench-smoke
+// ctest label to keep the binaries exercised without figure-quality cost.
+[[nodiscard]] inline bool smoke_mode() {
+    static const bool v = env_int_or("MPICD_BENCH_SMOKE", 0) != 0;
+    return v;
+}
+
 // Number of ping-pong iterations for a given message size: enough for a
 // stable average, bounded so multi-megabyte points stay fast.
 [[nodiscard]] inline int iters_for(Count bytes) {
+    if (smoke_mode()) return 2;
     if (bytes <= 4 * 1024) return 100;
     if (bytes <= 64 * 1024) return 40;
     if (bytes <= 1024 * 1024) return 16;
@@ -28,6 +38,13 @@ namespace mpicd::bench {
 
 inline constexpr int kWarmup = 3;
 inline constexpr int kRuns = 4; // the paper reports the average of 4 runs
+
+[[nodiscard]] inline int runs_for() { return smoke_mode() ? 1 : kRuns; }
+
+// How many entries of a size sweep to run: `first` under smoke, else all.
+[[nodiscard]] inline std::size_t bench_limit(std::size_t first, std::size_t full) {
+    return smoke_mode() ? std::min(first, full) : full;
+}
 
 // One benchmarked method: per-iteration bodies for both ranks. The rank-0
 // body must perform a send followed by a matching receive (ping-pong); the
@@ -58,11 +75,11 @@ struct Method {
     return (stop - start) / (2.0 * iters);
 }
 
-// Average of kRuns repetitions on a fresh universe each run.
+// Average of runs_for() repetitions on a fresh universe each run.
 [[nodiscard]] inline RunningStats measure(const Method& m, int iters,
                                           const netsim::WireParams& params) {
     RunningStats stats;
-    for (int run = 0; run < kRuns; ++run) {
+    for (int run = 0; run < runs_for(); ++run) {
         p2p::Universe uni(2, params);
         stats.add(run_pingpong(uni, m, kWarmup, iters));
     }
@@ -98,7 +115,64 @@ public:
         std::fflush(stdout);
     }
 
+    // Machine-readable companion to print(): BENCH_<name>.json in
+    // MPICD_BENCH_JSON_DIR (default: the working directory).
+    void write_json(const std::string& name) const {
+        const std::string dir =
+            env_string("MPICD_BENCH_JSON_DIR").value_or(std::string("."));
+        const std::string path = dir + "/BENCH_" + name + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"title\": \"%s\",\n",
+                     name.c_str(), json_escape(title_).c_str());
+        std::fprintf(f, "  \"xlabel\": \"%s\",\n  \"smoke\": %s,\n",
+                     json_escape(xlabel_).c_str(), smoke_mode() ? "true" : "false");
+        std::fprintf(f, "  \"columns\": [");
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            std::fprintf(f, "%s\"%s\"", i ? ", " : "",
+                         json_escape(columns_[i]).c_str());
+        }
+        std::fprintf(f, "],\n  \"rows\": [\n");
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            std::fprintf(f, "    {\"x\": \"%s\", \"values\": [",
+                         json_escape(rows_[r].x).c_str());
+            for (std::size_t i = 0; i < rows_[r].values.size(); ++i) {
+                std::fprintf(f, "%s%.6g", i ? ", " : "", rows_[r].values[i]);
+            }
+            std::fprintf(f, "]}%s\n", r + 1 < rows_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+    // Standard epilogue for every bench: human table, JSON artifact, and —
+    // under MPICD_PACK_STATS=1 — the pack-path counters accumulated over
+    // the whole process.
+    void finish(const std::string& name) const {
+        print();
+        write_json(name);
+        if (env_int_or("MPICD_PACK_STATS", 0) != 0) pack_stats().print(stdout);
+    }
+
 private:
+    static std::string json_escape(const std::string& s) {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out.push_back('\\');
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out.push_back(c);
+        }
+        return out;
+    }
+
     struct Row {
         std::string x;
         std::vector<double> values;

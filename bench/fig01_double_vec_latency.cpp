@@ -11,7 +11,7 @@ int main() {
     Table table("Fig.1  double-vector latency (us, one-way)", "size",
                 {"custom-64", "custom-1K", "custom-4K", "packed-64", "packed-1K",
                  "bytes"});
-    for (Count size = 64; size <= (1 << 20); size *= 4) {
+    for (Count size = 64; size <= (smoke_mode() ? Count(256) : Count(1) << 20); size *= 4) {
         const int iters = iters_for(size);
         std::vector<double> row;
         for (const Count sub : {Count(64), Count(1024), Count(4096)}) {
@@ -23,6 +23,6 @@ int main() {
         row.push_back(measure(bytes_baseline(size), iters, params).mean());
         table.add_row(size_label(size), row);
     }
-    table.print();
+    table.finish("fig01_double_vec_latency");
     return 0;
 }

@@ -12,7 +12,7 @@ int main() {
 
     Table table("Fig.3  struct-vec latency (us, one-way)", "size",
                 {"custom", "packed", "rsmpi-ddt"});
-    for (Count count = 1; count <= 256; count *= 2) {
+    for (Count count = 1; count <= (smoke_mode() ? Count(4) : Count(256)); count *= 2) {
         const Count size = count * kStructVecPacked;
         const int iters = iters_for(size);
         std::vector<double> row;
@@ -22,6 +22,6 @@ int main() {
             measure(StructVecBench::derived(count, ddt), iters, params).mean());
         table.add_row(size_label(size), row);
     }
-    table.print();
+    table.finish("fig03_struct_vec_latency");
     return 0;
 }

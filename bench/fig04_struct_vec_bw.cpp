@@ -9,7 +9,7 @@ int main() {
 
     Table table("Fig.4  struct-vec bandwidth (MB/s)", "size",
                 {"custom", "packed", "rsmpi-ddt"});
-    for (Count count = 4; count <= 512; count *= 2) {
+    for (Count count = 4; count <= (smoke_mode() ? Count(16) : Count(512)); count *= 2) {
         const Count size = count * kStructVecPacked;
         const int iters = iters_for(size);
         std::vector<double> row;
@@ -21,6 +21,6 @@ int main() {
             size, measure(StructVecBench::derived(count, ddt), iters, params).mean()));
         table.add_row(size_label(size), row);
     }
-    table.print();
+    table.finish("fig04_struct_vec_bw");
     return 0;
 }

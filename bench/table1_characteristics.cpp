@@ -1,7 +1,9 @@
 // Table I: benchmark characteristics, printed from the kernel metadata so
 // the table cannot drift from the implementation.
 #include <cstdio>
+#include <string>
 
+#include "base/config.hpp"
 #include "ddtbench/kernel.hpp"
 
 int main() {
@@ -9,12 +11,39 @@ int main() {
     std::printf("# Table I: Benchmark characteristics\n");
     std::printf("%-14s %-26s %-42s %s\n", "Benchmark", "MPI Datatypes",
                 "Loop Structure", "Memory Regions");
-    for (const auto& name : kernel_names()) {
+    const auto names = kernel_names();
+    for (const auto& name : names) {
         const auto k = make_kernel(name);
         const auto info = k->info();
         std::printf("%-14s %-26s %-42s %s\n", info.name.c_str(),
                     info.mpi_datatypes.c_str(), info.loop_structure.c_str(),
                     info.memory_regions ? "yes" : "-");
     }
+
+    // Machine-readable companion (string cells, so written directly rather
+    // than through bench::Table, whose rows are numeric).
+    const std::string dir =
+        mpicd::env_string("MPICD_BENCH_JSON_DIR").value_or(std::string("."));
+    const std::string path = dir + "/BENCH_table1_characteristics.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"name\": \"table1_characteristics\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto k = make_kernel(names[i]);
+        const auto info = k->info();
+        std::fprintf(f,
+                     "    {\"benchmark\": \"%s\", \"mpi_datatypes\": \"%s\", "
+                     "\"loop_structure\": \"%s\", \"memory_regions\": %s}%s\n",
+                     info.name.c_str(), info.mpi_datatypes.c_str(),
+                     info.loop_structure.c_str(),
+                     info.memory_regions ? "true" : "false",
+                     i + 1 < names.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
     return 0;
 }

@@ -65,4 +65,30 @@ struct ConstIovEntry {
     return t;
 }
 
+// Merge runs of exactly-adjacent entries in place (entry i+1 starts at the
+// byte where entry i ends). Only exact adjacency may be merged: the gathered
+// stream is the concatenation of the entries in order, so merging anything
+// else (gaps, overlaps, out-of-address-order neighbours) would change the
+// delivered bytes. Entries before `from` are left untouched (an appender
+// can pass from = old_size - 1 to allow its first new entry to merge into
+// the existing tail without revisiting the rest). Returns the number of
+// entries eliminated.
+template <typename Entry>
+inline std::size_t coalesce_iov(std::vector<Entry>& v, std::size_t from = 0) {
+    if (v.size() < 2 || from + 1 >= v.size()) return 0;
+    std::size_t out = from;
+    for (std::size_t i = from + 1; i < v.size(); ++i) {
+        const auto* prev_end =
+            static_cast<const std::byte*>(v[out].base) + v[out].len;
+        if (static_cast<const std::byte*>(v[i].base) == prev_end) {
+            v[out].len += v[i].len;
+        } else {
+            v[++out] = v[i];
+        }
+    }
+    const std::size_t removed = v.size() - (out + 1);
+    v.resize(out + 1);
+    return removed;
+}
+
 } // namespace mpicd

@@ -23,4 +23,62 @@ double RunningStats::stddev() const noexcept {
     return std::sqrt(m2_ / static_cast<double>(n_ - 1));
 }
 
+// ---------------------------------------------------------------------------
+// PackStats
+
+PackStatsSnapshot PackStats::snapshot() const noexcept {
+    PackStatsSnapshot s;
+    s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
+    s.plan_cache_misses = plan_cache_misses.load(std::memory_order_relaxed);
+    s.plans_compiled = plans_compiled.load(std::memory_order_relaxed);
+    s.kernel_bytes = kernel_bytes.load(std::memory_order_relaxed);
+    s.generic_bytes = generic_bytes.load(std::memory_order_relaxed);
+    s.iov_entries_before = iov_entries_before.load(std::memory_order_relaxed);
+    s.iov_entries_after = iov_entries_after.load(std::memory_order_relaxed);
+    s.parallel_packs = parallel_packs.load(std::memory_order_relaxed);
+    s.skeleton_hits = skeleton_hits.load(std::memory_order_relaxed);
+    return s;
+}
+
+void PackStats::reset() noexcept {
+    plan_cache_hits.store(0, std::memory_order_relaxed);
+    plan_cache_misses.store(0, std::memory_order_relaxed);
+    plans_compiled.store(0, std::memory_order_relaxed);
+    kernel_bytes.store(0, std::memory_order_relaxed);
+    generic_bytes.store(0, std::memory_order_relaxed);
+    iov_entries_before.store(0, std::memory_order_relaxed);
+    iov_entries_after.store(0, std::memory_order_relaxed);
+    parallel_packs.store(0, std::memory_order_relaxed);
+    skeleton_hits.store(0, std::memory_order_relaxed);
+}
+
+void PackStats::print(std::FILE* out) const {
+    const PackStatsSnapshot s = snapshot();
+    std::fprintf(out, "# pack-path stats\n");
+    std::fprintf(out, "plan_cache_hits      %llu\n",
+                 static_cast<unsigned long long>(s.plan_cache_hits));
+    std::fprintf(out, "plan_cache_misses    %llu\n",
+                 static_cast<unsigned long long>(s.plan_cache_misses));
+    std::fprintf(out, "plans_compiled       %llu\n",
+                 static_cast<unsigned long long>(s.plans_compiled));
+    std::fprintf(out, "kernel_bytes         %llu\n",
+                 static_cast<unsigned long long>(s.kernel_bytes));
+    std::fprintf(out, "generic_bytes        %llu\n",
+                 static_cast<unsigned long long>(s.generic_bytes));
+    std::fprintf(out, "iov_entries_before   %llu\n",
+                 static_cast<unsigned long long>(s.iov_entries_before));
+    std::fprintf(out, "iov_entries_after    %llu\n",
+                 static_cast<unsigned long long>(s.iov_entries_after));
+    std::fprintf(out, "parallel_packs       %llu\n",
+                 static_cast<unsigned long long>(s.parallel_packs));
+    std::fprintf(out, "skeleton_hits        %llu\n",
+                 static_cast<unsigned long long>(s.skeleton_hits));
+    std::fflush(out);
+}
+
+PackStats& pack_stats() noexcept {
+    static PackStats instance;
+    return instance;
+}
+
 } // namespace mpicd

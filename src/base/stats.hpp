@@ -1,10 +1,14 @@
 // Streaming statistics accumulator used by the benchmark harness to report
 // mean / min / max / stddev over repeated ping-pong iterations (the paper
-// reports the average of four runs with error bars).
+// reports the average of four runs with error bars), plus the global
+// pack-path counters (plan cache, copy kernels, iovec coalescing, parallel
+// pack engine) that the benches print under MPICD_PACK_STATS=1.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 
 namespace mpicd {
 
@@ -27,5 +31,45 @@ private:
     double min_ = 0.0;
     double max_ = 0.0;
 };
+
+// ---------------------------------------------------------------------------
+// Pack-path observability (see docs/PERF.md).
+//
+// Process-wide counters updated from the datatype engine's hot paths; each
+// site accumulates locally and performs a single relaxed atomic add per
+// pack/unpack call, so the counters are cheap enough to stay always-on.
+
+struct PackStatsSnapshot {
+    std::uint64_t plan_cache_hits = 0;
+    std::uint64_t plan_cache_misses = 0;
+    std::uint64_t plans_compiled = 0;
+    std::uint64_t kernel_bytes = 0;    // packed/unpacked via compiled-plan kernels
+    std::uint64_t generic_bytes = 0;   // packed/unpacked via the generic segment loop
+    std::uint64_t iov_entries_before = 0; // scatter-gather entries pre-coalescing
+    std::uint64_t iov_entries_after = 0;  // entries actually handed to the wire
+    std::uint64_t parallel_packs = 0;     // parallel pack-engine invocations
+    std::uint64_t skeleton_hits = 0;      // custom-type descriptor skeleton reuses
+};
+
+class PackStats {
+public:
+    std::atomic<std::uint64_t> plan_cache_hits{0};
+    std::atomic<std::uint64_t> plan_cache_misses{0};
+    std::atomic<std::uint64_t> plans_compiled{0};
+    std::atomic<std::uint64_t> kernel_bytes{0};
+    std::atomic<std::uint64_t> generic_bytes{0};
+    std::atomic<std::uint64_t> iov_entries_before{0};
+    std::atomic<std::uint64_t> iov_entries_after{0};
+    std::atomic<std::uint64_t> parallel_packs{0};
+    std::atomic<std::uint64_t> skeleton_hits{0};
+
+    [[nodiscard]] PackStatsSnapshot snapshot() const noexcept;
+    void reset() noexcept;
+    // Human-readable dump (one line per nonzero counter).
+    void print(std::FILE* out) const;
+};
+
+// The process-wide instance.
+[[nodiscard]] PackStats& pack_stats() noexcept;
 
 } // namespace mpicd

@@ -1,8 +1,12 @@
 #include "core/engine.hpp"
 
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "base/config.hpp"
+#include "base/stats.hpp"
+#include "dt/pack_plan.hpp"
 
 namespace mpicd::core {
 
@@ -107,6 +111,67 @@ Status collect_regions(const CustomDatatype& type, void* state, void* buf, Count
     return Status::success;
 }
 
+// Coalesce exactly-adjacent scatter/gather entries before the descriptor
+// reaches Worker::tag_send. The wire stream is the in-order concatenation
+// of the entries, so merging only exact adjacency leaves delivered bytes
+// unchanged while shrinking the SG list the transport charges per entry.
+// Gated with the rest of the pack-plan machinery so MPICD_PACK_PLAN=0
+// reproduces the ungrouped seed descriptors.
+void coalesce_entries(std::vector<IovEntry>& entries) {
+    if (!dt::pack_plan_enabled()) return;
+    const std::size_t before = entries.size();
+    coalesce_iov(entries);
+    auto& ps = pack_stats();
+    ps.iov_entries_before.fetch_add(static_cast<std::uint64_t>(before),
+                                    std::memory_order_relaxed);
+    ps.iov_entries_after.fetch_add(static_cast<std::uint64_t>(entries.size()),
+                                   std::memory_order_relaxed);
+}
+
+// --- Descriptor skeleton hints ------------------------------------------
+//
+// The user callbacks (query/region) must run for every operation — packed
+// size and region layout may depend on object contents — so unlike the
+// derived-datatype plan cache the custom path cannot reuse lowered
+// descriptors outright. What repeats is the descriptor *skeleton*: entry
+// counts for the same (type, count) pair. Remember them and pre-reserve,
+// so steady-state lowering does no vector growth.
+struct SkeletonHint {
+    Count entries = 0;
+};
+
+std::mutex g_skel_mu;
+std::unordered_map<const CustomDatatype*,
+                   std::unordered_map<Count, SkeletonHint>>&
+skel_map() {
+    static std::unordered_map<const CustomDatatype*,
+                              std::unordered_map<Count, SkeletonHint>>
+        m;
+    return m;
+}
+
+void skeleton_reserve(const CustomDatatype& type, Count count,
+                      std::vector<IovEntry>& entries) {
+    if (!dt::pack_plan_enabled()) return;
+    std::lock_guard<std::mutex> lk(g_skel_mu);
+    const auto it = skel_map().find(&type);
+    if (it == skel_map().end()) return;
+    const auto jt = it->second.find(count);
+    if (jt == it->second.end()) return;
+    entries.reserve(static_cast<std::size_t>(jt->second.entries));
+    pack_stats().skeleton_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void skeleton_remember(const CustomDatatype& type, Count count,
+                       const std::vector<IovEntry>& entries) {
+    if (!dt::pack_plan_enabled()) return;
+    std::lock_guard<std::mutex> lk(g_skel_mu);
+    if (skel_map().size() > 256) skel_map().clear(); // unbounded types guard
+    auto& per_type = skel_map()[&type];
+    if (per_type.size() > 64) per_type.clear(); // unbounded counts guard
+    per_type[count] = SkeletonHint{static_cast<Count>(entries.size())};
+}
+
 } // namespace
 
 Status lower_custom_send(const CustomDatatype& type, const void* buf, Count count,
@@ -131,6 +196,7 @@ Status lower_custom_send(const CustomDatatype& type, const void* buf, Count coun
     std::vector<IovEntry> entries;
     {
         const ScopedMeasure measure(host_cost);
+        skeleton_reserve(type, count, entries);
         st = type.make_state(buf, count, &state);
         Count packed = 0;
         if (ok(st)) st = type.callbacks().query(state, buf, count, &packed);
@@ -153,6 +219,10 @@ Status lower_custom_send(const CustomDatatype& type, const void* buf, Count coun
             Count region_bytes = 0;
             st = collect_regions(type, state, const_cast<void*>(buf), count, entries,
                                  &region_bytes);
+        }
+        if (ok(st)) {
+            coalesce_entries(entries);
+            skeleton_remember(type, count, entries);
         }
         type.free_state(state);
     }
@@ -239,6 +309,7 @@ Status lower_custom_recv(const CustomDatatype& type, void* buf, Count count,
     Count region_bytes = 0;
     {
         const ScopedMeasure measure(host_cost);
+        skeleton_reserve(type, count, entries);
         st = type.make_state(buf, count, &state);
         if (ok(st)) st = type.callbacks().query(state, buf, count, &packed);
         if (ok(st) && packed < 0) st = Status::err_query;
@@ -247,6 +318,10 @@ Status lower_custom_recv(const CustomDatatype& type, void* buf, Count count,
             entries.push_back({backing->data(), packed});
         }
         if (ok(st)) st = collect_regions(type, state, buf, count, entries, &region_bytes);
+        if (ok(st)) {
+            coalesce_entries(entries);
+            skeleton_remember(type, count, entries);
+        }
     }
     worker.advance_time(host_cost);
     if (!ok(st)) {

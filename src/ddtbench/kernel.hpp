@@ -67,6 +67,14 @@ public:
     // regions impracticable (LAMMPS, WRF — see Table I) return 0.
     [[nodiscard]] virtual Count region_count() const { return 0; }
     virtual void regions(IovEntry* /*out*/) {}
+
+    // Opt into the finest region granularity the kernel's access pattern
+    // supports (e.g. one entry per lattice site instead of per contiguous
+    // run). Default is the coarse, already-merged view; kernels without a
+    // finer decomposition ignore the request. Exercises the transport's
+    // iovec coalescing pass, which must merge the fine entries back to the
+    // coarse scatter-gather list without changing delivered bytes.
+    virtual void set_fine_regions(bool /*fine*/) {}
 };
 
 // The custom datatype driving any Kernel through the paper's API with

@@ -111,17 +111,30 @@ public:
     const void* dt_buffer() const override { return slab_.data() + run_offset(0, 0); }
     void* dt_buffer() override { return slab_.data() + run_offset(0, 0); }
 
-    Count region_count() const override { return T_ * Z_; }
+    // Coarse view: one region per (t, z) run. Fine view: one region per
+    // lattice site — X exactly-adjacent entries per run, which the
+    // transport's coalescing pass merges back down to the coarse list.
+    Count region_count() const override { return fine_ ? T_ * Z_ * X_ : T_ * Z_; }
     void regions(IovEntry* out) override {
         Count k = 0;
         for (Count t = 0; t < T_; ++t) {
             for (Count z = 0; z < Z_; ++z) {
-                out[k].base = slab_.data() + run_offset(t, z);
-                out[k].len = X_ * kSu3Doubles * 8;
-                ++k;
+                if (fine_) {
+                    for (Count x = 0; x < X_; ++x) {
+                        out[k].base = slab_.data() + run_offset(t, z) +
+                                      static_cast<std::size_t>(x * kSu3Doubles);
+                        out[k].len = kSu3Doubles * 8;
+                        ++k;
+                    }
+                } else {
+                    out[k].base = slab_.data() + run_offset(t, z);
+                    out[k].len = X_ * kSu3Doubles * 8;
+                    ++k;
+                }
             }
         }
     }
+    void set_fine_regions(bool fine) override { fine_ = fine; }
 
 private:
     [[nodiscard]] std::size_t run_offset(Count t, Count z) const {
@@ -129,6 +142,7 @@ private:
     }
 
     Count T_ = 0, Z_ = 0, Y_ = 0, X_ = 0, y0_ = 0;
+    bool fine_ = false;
     std::vector<double> slab_;
     mutable dt::TypeRef type_cache_;
 };

@@ -4,13 +4,21 @@
 #include <cassert>
 #include <cstring>
 
+#include "base/stats.hpp"
+#include "dt/pack_plan.hpp"
+#include "dt/par_pack.hpp"
+
 namespace mpicd::dt {
 
-Convertor::Convertor(TypeRef type, void* buf, Count count)
+Convertor::Convertor(TypeRef type, void* buf, Count count, PackMode mode)
     : type_(std::move(type)), buf_(static_cast<std::byte*>(buf)), count_(count) {
     assert(type_ != nullptr && type_->committed());
     assert(count_ >= 0);
     total_ = type_->size() * count_;
+    if (mode != PackMode::generic &&
+        (mode != PackMode::auto_ || pack_plan_enabled())) {
+        plan_ = type_->plan().get();
+    }
 }
 
 void Convertor::locate(Count packed_offset, Count* elem, std::size_t* seg,
@@ -40,9 +48,28 @@ void Convertor::seek(Count packed_offset) {
 Status Convertor::pack(MutBytes dst, Count* used) {
     const auto& segs = type_->segments();
     const Count extent = type_->extent();
+    const Count elem_size = type_->size();
     Count produced = 0;
     Count want = std::min(static_cast<Count>(dst.size()), total_ - pos_);
+    Count kernel_bytes = 0;
+    Count generic_bytes = 0;
     while (want > 0) {
+        // Plan fast path: at an element boundary with at least one whole
+        // element wanted, run the compiled program over every whole element
+        // in range. Head/tail partials (mid-element cursor, short trailing
+        // span) fall through to the generic per-segment loop below, which
+        // re-enters this path at the next element boundary.
+        if (plan_ != nullptr && seg_ == 0 && seg_into_ == 0 && want >= elem_size) {
+            const Count n = want / elem_size;
+            const Count bytes = n * elem_size;
+            plan_pack(*plan_, buf_ + elem_ * extent, n, dst.data() + produced);
+            produced += bytes;
+            want -= bytes;
+            pos_ += bytes;
+            elem_ += n;
+            kernel_bytes += bytes;
+            continue;
+        }
         const Segment& s = segs[seg_];
         const Count n = std::min(s.len - seg_into_, want);
         const std::byte* src = buf_ + elem_ * extent + s.offset + seg_into_;
@@ -51,6 +78,7 @@ Status Convertor::pack(MutBytes dst, Count* used) {
         want -= n;
         pos_ += n;
         seg_into_ += n;
+        generic_bytes += n;
         if (seg_into_ == s.len) {
             seg_into_ = 0;
             if (++seg_ == segs.size()) {
@@ -58,6 +86,14 @@ Status Convertor::pack(MutBytes dst, Count* used) {
                 ++elem_;
             }
         }
+    }
+    if (kernel_bytes > 0) {
+        pack_stats().kernel_bytes.fetch_add(static_cast<std::uint64_t>(kernel_bytes),
+                                            std::memory_order_relaxed);
+    }
+    if (generic_bytes > 0) {
+        pack_stats().generic_bytes.fetch_add(static_cast<std::uint64_t>(generic_bytes),
+                                             std::memory_order_relaxed);
     }
     *used = produced;
     return Status::success;
@@ -66,10 +102,24 @@ Status Convertor::pack(MutBytes dst, Count* used) {
 Status Convertor::unpack(ConstBytes src) {
     const auto& segs = type_->segments();
     const Count extent = type_->extent();
+    const Count elem_size = type_->size();
     Count consumed = 0;
     Count have = static_cast<Count>(src.size());
     if (have > total_ - pos_) return Status::err_truncate;
+    Count kernel_bytes = 0;
+    Count generic_bytes = 0;
     while (have > 0) {
+        if (plan_ != nullptr && seg_ == 0 && seg_into_ == 0 && have >= elem_size) {
+            const Count n = have / elem_size;
+            const Count bytes = n * elem_size;
+            plan_unpack(*plan_, buf_ + elem_ * extent, n, src.data() + consumed);
+            consumed += bytes;
+            have -= bytes;
+            pos_ += bytes;
+            elem_ += n;
+            kernel_bytes += bytes;
+            continue;
+        }
         const Segment& s = segs[seg_];
         const Count n = std::min(s.len - seg_into_, have);
         std::byte* dst = buf_ + elem_ * extent + s.offset + seg_into_;
@@ -78,6 +128,7 @@ Status Convertor::unpack(ConstBytes src) {
         have -= n;
         pos_ += n;
         seg_into_ += n;
+        generic_bytes += n;
         if (seg_into_ == s.len) {
             seg_into_ = 0;
             if (++seg_ == segs.size()) {
@@ -86,22 +137,50 @@ Status Convertor::unpack(ConstBytes src) {
             }
         }
     }
+    if (kernel_bytes > 0) {
+        pack_stats().kernel_bytes.fetch_add(static_cast<std::uint64_t>(kernel_bytes),
+                                            std::memory_order_relaxed);
+    }
+    if (generic_bytes > 0) {
+        pack_stats().generic_bytes.fetch_add(static_cast<std::uint64_t>(generic_bytes),
+                                             std::memory_order_relaxed);
+    }
     return Status::success;
 }
 
 Status Convertor::pack_all(const TypeRef& type, const void* buf, Count count,
                            MutBytes dst, Count* used) {
+    return pack_all(type, buf, count, dst, used, PackMode::auto_);
+}
+
+Status Convertor::pack_all(const TypeRef& type, const void* buf, Count count,
+                           MutBytes dst, Count* used, PackMode mode) {
     if (type == nullptr || !type->committed()) return Status::err_not_committed;
-    Convertor cv(type, const_cast<void*>(buf), count);
-    if (static_cast<Count>(dst.size()) < cv.total_packed()) return Status::err_truncate;
+    const Count total = type->size() * count;
+    if (static_cast<Count>(dst.size()) < total) return Status::err_truncate;
+    if (mode == PackMode::parallel ||
+        (mode == PackMode::auto_ && par_pack_eligible(total))) {
+        return parallel_pack(type, buf, count, dst, used);
+    }
+    Convertor cv(type, const_cast<void*>(buf), count, mode);
     return cv.pack(dst, used);
 }
 
 Status Convertor::unpack_all(const TypeRef& type, void* buf, Count count,
                              ConstBytes src) {
+    return unpack_all(type, buf, count, src, PackMode::auto_);
+}
+
+Status Convertor::unpack_all(const TypeRef& type, void* buf, Count count,
+                             ConstBytes src, PackMode mode) {
     if (type == nullptr || !type->committed()) return Status::err_not_committed;
-    Convertor cv(type, buf, count);
-    if (static_cast<Count>(src.size()) != cv.total_packed()) return Status::err_count;
+    const Count total = type->size() * count;
+    if (static_cast<Count>(src.size()) != total) return Status::err_count;
+    if (mode == PackMode::parallel ||
+        (mode == PackMode::auto_ && par_pack_eligible(total))) {
+        return parallel_unpack(type, buf, count, src);
+    }
+    Convertor cv(type, buf, count, mode);
     return cv.unpack(src);
 }
 

@@ -19,12 +19,23 @@
 
 namespace mpicd::dt {
 
+// How a convertor (or one-shot helper) moves bytes:
+//  - generic: the original per-segment memcpy loop, always available.
+//  - plan: execute the compiled pack program for whole elements.
+//  - parallel: plan + the worker pool for large buffers (pack_all only;
+//    inside a Convertor it behaves like `plan` — the pool partitions work
+//    by constructing plain sub-convertors, never recursively).
+//  - auto_: `plan` when MPICD_PACK_PLAN is enabled (default), otherwise
+//    generic; pack_all/unpack_all additionally upgrade to parallel above
+//    MPICD_PAR_PACK_THRESHOLD.
+enum class PackMode : std::uint8_t { generic, plan, parallel, auto_ };
+
 class Convertor {
 public:
     // `buf` is the user buffer holding `count` elements of `type`.
     // The type must be committed. Pack direction reads from buf;
     // unpack direction writes into it (pass the same pointer non-const).
-    Convertor(TypeRef type, void* buf, Count count);
+    Convertor(TypeRef type, void* buf, Count count, PackMode mode = PackMode::auto_);
 
     [[nodiscard]] Count total_packed() const noexcept { return total_; }
     [[nodiscard]] Count position() const noexcept { return pos_; }
@@ -42,11 +53,18 @@ public:
     // advances the cursor.
     [[nodiscard]] Status unpack(ConstBytes src);
 
-    // One-shot helpers (MPI_Pack / MPI_Unpack equivalents).
+    // One-shot helpers (MPI_Pack / MPI_Unpack equivalents). The PackMode
+    // overloads let callers pin a path (benches, tests); the two-argument
+    // forms use auto_, i.e. plan/parallel as gated by the env knobs.
     [[nodiscard]] static Status pack_all(const TypeRef& type, const void* buf,
                                          Count count, MutBytes dst, Count* used);
+    [[nodiscard]] static Status pack_all(const TypeRef& type, const void* buf,
+                                         Count count, MutBytes dst, Count* used,
+                                         PackMode mode);
     [[nodiscard]] static Status unpack_all(const TypeRef& type, void* buf, Count count,
                                            ConstBytes src);
+    [[nodiscard]] static Status unpack_all(const TypeRef& type, void* buf, Count count,
+                                           ConstBytes src, PackMode mode);
 
 private:
     // Decompose the cursor into (element index, segment index, bytes into
@@ -55,6 +73,9 @@ private:
 
     TypeRef type_;
     std::byte* buf_;
+    // Compiled plan to run for whole-element spans; nullptr keeps every
+    // byte on the generic per-segment loop.
+    const PackPlan* plan_ = nullptr;
     Count count_ = 0;
     Count total_ = 0;
     Count pos_ = 0;

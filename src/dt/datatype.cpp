@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "dt/pack_plan.hpp"
+
 namespace mpicd::dt {
 
 namespace {
@@ -420,6 +422,7 @@ Status Datatype::commit() {
         (size_ == 0) ||
         (segments_.size() == 1 && segments_[0].offset == 0 &&
          segments_[0].len == size_ && extent_ == size_ && lb_ == 0);
+    plan_ = compile_plan(segments_, extent_);
     committed_ = true;
     return Status::success;
 }

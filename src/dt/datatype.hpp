@@ -24,6 +24,8 @@
 
 namespace mpicd::dt {
 
+struct PackPlan; // dt/pack_plan.hpp
+
 class Datatype;
 // Shared immutable-after-commit handle. commit() must happen before a type
 // is used concurrently from several threads.
@@ -117,6 +119,14 @@ public:
     // length equals the extent (so count>1 stays contiguous too).
     [[nodiscard]] bool is_contiguous() const noexcept { return contiguous_flag_; }
 
+    // Compiled pack program over segments() (dt/pack_plan.hpp), built at
+    // commit(); nullptr for empty types. Always compiled so explicit-mode
+    // callers (tests, benches) can exercise it regardless of the
+    // MPICD_PACK_PLAN gate, which only controls the default pack path.
+    [[nodiscard]] const std::shared_ptr<const PackPlan>& plan() const noexcept {
+        return plan_;
+    }
+
     // Type-map leaf sequence in pack order (for signatures / equivalence).
     void append_signature(std::vector<Predef>& out) const;
 
@@ -150,6 +160,7 @@ private:
     bool contiguous_flag_ = false;
     std::vector<Segment> segments_;
     std::vector<Count> packed_prefix_;
+    std::shared_ptr<const PackPlan> plan_;
 };
 
 // Convenience: committed predefined singletons.

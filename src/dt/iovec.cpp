@@ -1,5 +1,7 @@
 #include "dt/iovec.hpp"
 
+#include "base/stats.hpp"
+
 namespace mpicd::dt {
 
 namespace {
@@ -13,20 +15,23 @@ Status extract_impl(const TypeRef& type, Ptr buf, Count count,
         std::is_const_v<std::remove_pointer_t<Ptr>>, const std::byte*, std::byte*>>(buf);
     const Count extent = type->extent();
     const auto& segs = type->segments();
+    // Emit the raw per-segment entries, then run the shared coalescing pass
+    // over the appended tail (allowing the first new entry to merge into the
+    // caller's existing last entry, as pack order continues across the call).
+    const std::size_t start = out.size();
+    out.reserve(start + static_cast<std::size_t>(count) * segs.size());
     for (Count i = 0; i < count; ++i) {
         for (const auto& s : segs) {
-            auto* p = base + i * extent + s.offset;
-            if (!out.empty()) {
-                auto* prev_end =
-                    static_cast<decltype(p)>(out.back().base) + out.back().len;
-                if (prev_end == p) {
-                    out.back().len += s.len;
-                    continue;
-                }
-            }
-            out.push_back({p, s.len});
+            out.push_back({base + i * extent + s.offset, s.len});
         }
     }
+    const std::size_t raw = out.size() - start;
+    coalesce_iov(out, start == 0 ? 0 : start - 1);
+    auto& ps = pack_stats();
+    ps.iov_entries_before.fetch_add(static_cast<std::uint64_t>(raw),
+                                    std::memory_order_relaxed);
+    ps.iov_entries_after.fetch_add(static_cast<std::uint64_t>(out.size() - start),
+                                   std::memory_order_relaxed);
     return Status::success;
 }
 

@@ -1,0 +1,239 @@
+#include "dt/pack_plan.hpp"
+
+#include <cstring>
+
+#include "base/config.hpp"
+#include "base/stats.hpp"
+
+namespace mpicd::dt {
+
+bool pack_plan_enabled() noexcept {
+    static const bool v = env_int_or("MPICD_PACK_PLAN", 1) != 0;
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+
+std::shared_ptr<const PackPlan> compile_plan(std::span<const Segment> segments,
+                                             Count extent) {
+    if (segments.empty()) return nullptr;
+    auto plan = std::make_shared<PackPlan>();
+    plan->extent = extent;
+    for (const auto& s : segments) plan->elem_size += s.len;
+
+    // Greedily group maximal runs of equal-length, constant-stride segments.
+    std::size_t i = 0;
+    while (i < segments.size()) {
+        const Count len = segments[i].len;
+        std::size_t j = i + 1;
+        Count stride = 0;
+        if (j < segments.size() && segments[j].len == len) {
+            stride = segments[j].offset - segments[i].offset;
+            // A fixed-width kernel reads [offset + k*stride, +len); reps may
+            // only grow while the stride stays constant. Negative or
+            // overlapping strides are legal (type maps are not
+            // address-ordered) — the kernels only ever read, so any stride
+            // executes correctly.
+            while (j < segments.size() && segments[j].len == len &&
+                   segments[j].offset - segments[j - 1].offset == stride) {
+                ++j;
+            }
+        }
+        PackInstr in;
+        in.offset = segments[i].offset;
+        in.len = len;
+        in.reps = static_cast<Count>(j - i);
+        in.stride = in.reps > 1 ? stride : len;
+        switch (len) {
+            case 4: in.op = PackOp::copy4; break;
+            case 8: in.op = PackOp::copy8; break;
+            case 16: in.op = PackOp::copy16; break;
+            default: in.op = PackOp::copy; break;
+        }
+        plan->instrs.push_back(in);
+        i = j;
+    }
+
+    // Cross-element fusion: a single run whose stride pattern lands the
+    // next rep exactly on the next element's first rep.
+    if (plan->instrs.size() == 1) {
+        const auto& in = plan->instrs[0];
+        plan->collapsible = in.stride * in.reps == extent;
+    }
+
+    pack_stats().plans_compiled.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+//
+// `Pack` selects direction at compile time so one executor serves both
+// pack (gather into the stream) and unpack (scatter back out of it).
+
+namespace {
+
+template <std::size_t W, bool Pack>
+inline void fixed_run(std::byte* mem, Count stride, Count reps,
+                      std::byte*& stream_mut) noexcept {
+    std::byte* stream = stream_mut;
+    for (Count r = 0; r < reps; ++r) {
+        if constexpr (Pack) {
+            std::memcpy(stream, mem, W);
+        } else {
+            std::memcpy(mem, stream, W);
+        }
+        stream += W;
+        mem += stride;
+    }
+    stream_mut = stream;
+}
+
+template <bool Pack>
+inline void generic_run(std::byte* mem, Count len, Count stride, Count reps,
+                        std::byte*& stream_mut) noexcept {
+    // Dispatch a handful of common widths to fixed copies once per run, so
+    // the rep loop body is plain loads/stores instead of a libc memcpy call
+    // with a runtime size.
+    switch (len) {
+        case 12: fixed_run<12, Pack>(mem, stride, reps, stream_mut); return;
+        case 20: fixed_run<20, Pack>(mem, stride, reps, stream_mut); return;
+        case 24: fixed_run<24, Pack>(mem, stride, reps, stream_mut); return;
+        case 32: fixed_run<32, Pack>(mem, stride, reps, stream_mut); return;
+        case 40: fixed_run<40, Pack>(mem, stride, reps, stream_mut); return;
+        case 48: fixed_run<48, Pack>(mem, stride, reps, stream_mut); return;
+        case 64: fixed_run<64, Pack>(mem, stride, reps, stream_mut); return;
+        default: break;
+    }
+    std::byte* stream = stream_mut;
+    for (Count r = 0; r < reps; ++r) {
+        if constexpr (Pack) {
+            std::memcpy(stream, mem, static_cast<std::size_t>(len));
+        } else {
+            std::memcpy(mem, stream, static_cast<std::size_t>(len));
+        }
+        stream += len;
+        mem += stride;
+    }
+    stream_mut = stream;
+}
+
+template <bool Pack>
+inline void exec_instr(const PackInstr& in, std::byte* elem, Count reps,
+                       std::byte*& stream) noexcept {
+    std::byte* mem = elem + in.offset;
+    switch (in.op) {
+        case PackOp::copy4: fixed_run<4, Pack>(mem, in.stride, reps, stream); break;
+        case PackOp::copy8: fixed_run<8, Pack>(mem, in.stride, reps, stream); break;
+        case PackOp::copy16: fixed_run<16, Pack>(mem, in.stride, reps, stream); break;
+        case PackOp::copy: generic_run<Pack>(mem, in.len, in.stride, reps, stream); break;
+    }
+}
+
+// Fused kernel for the ubiquitous two-segment struct element (the Fig. 5
+// gap struct compiles to exactly this shape): both copy widths fixed at
+// compile time and a single per-element loop, so there is no per-element
+// instruction dispatch at all.
+template <std::size_t W0, std::size_t W1, bool Pack>
+void elem2_run(std::byte* base, Count off0, Count off1, Count extent, Count nelems,
+               std::byte* stream) noexcept {
+    for (Count e = 0; e < nelems; ++e) {
+        std::byte* m = base + e * extent;
+        if constexpr (Pack) {
+            std::memcpy(stream, m + off0, W0);
+            std::memcpy(stream + W0, m + off1, W1);
+        } else {
+            std::memcpy(m + off0, stream, W0);
+            std::memcpy(m + off1, stream + W0, W1);
+        }
+        stream += W0 + W1;
+    }
+}
+
+template <std::size_t W0, bool Pack>
+bool elem2_second(Count len1, std::byte* base, Count off0, Count off1, Count extent,
+                  Count nelems, std::byte* stream) noexcept {
+    switch (len1) {
+        case 4: elem2_run<W0, 4, Pack>(base, off0, off1, extent, nelems, stream); break;
+        case 8: elem2_run<W0, 8, Pack>(base, off0, off1, extent, nelems, stream); break;
+        case 12: elem2_run<W0, 12, Pack>(base, off0, off1, extent, nelems, stream); break;
+        case 16: elem2_run<W0, 16, Pack>(base, off0, off1, extent, nelems, stream); break;
+        case 20: elem2_run<W0, 20, Pack>(base, off0, off1, extent, nelems, stream); break;
+        case 24: elem2_run<W0, 24, Pack>(base, off0, off1, extent, nelems, stream); break;
+        default: return false;
+    }
+    return true;
+}
+
+template <bool Pack>
+bool elem2_dispatch(const PackPlan& plan, std::byte* base, Count nelems,
+                    std::byte* stream) noexcept {
+    const PackInstr& a = plan.instrs[0];
+    const PackInstr& b = plan.instrs[1];
+    if (a.reps != 1 || b.reps != 1) return false;
+    switch (a.len) {
+        case 4:
+            return elem2_second<4, Pack>(b.len, base, a.offset, b.offset, plan.extent,
+                                         nelems, stream);
+        case 8:
+            return elem2_second<8, Pack>(b.len, base, a.offset, b.offset, plan.extent,
+                                         nelems, stream);
+        case 12:
+            return elem2_second<12, Pack>(b.len, base, a.offset, b.offset, plan.extent,
+                                          nelems, stream);
+        case 16:
+            return elem2_second<16, Pack>(b.len, base, a.offset, b.offset, plan.extent,
+                                          nelems, stream);
+        case 20:
+            return elem2_second<20, Pack>(b.len, base, a.offset, b.offset, plan.extent,
+                                          nelems, stream);
+        case 24:
+            return elem2_second<24, Pack>(b.len, base, a.offset, b.offset, plan.extent,
+                                          nelems, stream);
+        default: return false;
+    }
+}
+
+template <bool Pack>
+void execute(const PackPlan& plan, std::byte* base, Count nelems,
+             std::byte* stream) noexcept {
+    if (nelems <= 0) return;
+    if (plan.collapsible) {
+        // One fused run across all elements: a single dispatch, one tight
+        // rep loop over the whole message.
+        exec_instr<Pack>(plan.instrs[0], base, plan.instrs[0].reps * nelems, stream);
+        return;
+    }
+    if (plan.instrs.size() == 1) {
+        const PackInstr& in = plan.instrs[0];
+        for (Count e = 0; e < nelems; ++e) {
+            exec_instr<Pack>(in, base + e * plan.extent, in.reps, stream);
+        }
+        return;
+    }
+    if (plan.instrs.size() == 2 &&
+        elem2_dispatch<Pack>(plan, base, nelems, stream)) {
+        return;
+    }
+    for (Count e = 0; e < nelems; ++e) {
+        std::byte* elem = base + e * plan.extent;
+        for (const PackInstr& in : plan.instrs) {
+            exec_instr<Pack>(in, elem, in.reps, stream);
+        }
+    }
+}
+
+} // namespace
+
+void plan_pack(const PackPlan& plan, const std::byte* base, Count nelems,
+               std::byte* dst) noexcept {
+    execute<true>(plan, const_cast<std::byte*>(base), nelems, dst);
+}
+
+void plan_unpack(const PackPlan& plan, std::byte* base, Count nelems,
+                 const std::byte* src) noexcept {
+    execute<false>(plan, base, nelems, const_cast<std::byte*>(src));
+}
+
+} // namespace mpicd::dt

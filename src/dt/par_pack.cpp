@@ -1,0 +1,220 @@
+#include "dt/par_pack.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/config.hpp"
+#include "base/stats.hpp"
+#include "dt/convertor.hpp"
+#include "dt/pack_plan.hpp"
+
+namespace mpicd::dt {
+
+Count par_pack_threshold() noexcept {
+    static const Count v = static_cast<Count>(
+        env_int_or("MPICD_PAR_PACK_THRESHOLD", Count{2} << 20));
+    return v;
+}
+
+int par_pack_workers() noexcept {
+    static const int v = [] {
+        const auto hw = static_cast<std::int64_t>(
+            std::max(1u, std::thread::hardware_concurrency()));
+        const auto n = env_int_or("MPICD_PAR_PACK_THREADS", std::min<std::int64_t>(4, hw));
+        return static_cast<int>(std::clamp<std::int64_t>(n, 1, 64));
+    }();
+    return v;
+}
+
+bool par_pack_eligible(Count total) noexcept {
+    const Count thresh = par_pack_threshold();
+    return pack_plan_enabled() && thresh > 0 && total >= thresh &&
+           par_pack_workers() > 1;
+}
+
+namespace {
+
+// Persistent pool. Workers claim part indices from a shared atomic, so a
+// slow worker never stalls the others; the calling thread participates and
+// then waits only for stragglers.
+class PackPool {
+public:
+    static PackPool& instance() {
+        static PackPool pool;
+        return pool;
+    }
+
+    void run(int nparts, std::function<void(int)> fn) {
+        if (nparts <= 0) return;
+        if (threads_.empty() || nparts == 1) {
+            for (int i = 0; i < nparts; ++i) fn(i);
+            return;
+        }
+        auto job = std::make_shared<Job>();
+        job->fn = std::move(fn);
+        job->nparts = nparts;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            job_ = job;
+            ++generation_;
+        }
+        cv_.notify_all();
+        // Caller participates.
+        for (int i = job->next.fetch_add(1); i < nparts; i = job->next.fetch_add(1)) {
+            job->fn(i);
+            job->done.fetch_add(1, std::memory_order_acq_rel);
+        }
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] {
+            return job->done.load(std::memory_order_acquire) >= nparts;
+        });
+        if (job_ == job) job_.reset();
+    }
+
+private:
+    struct Job {
+        std::function<void(int)> fn;
+        int nparts = 0;
+        std::atomic<int> next{0};
+        std::atomic<int> done{0};
+    };
+
+    PackPool() {
+        const int extra = par_pack_workers() - 1;
+        threads_.reserve(static_cast<std::size_t>(std::max(0, extra)));
+        for (int i = 0; i < extra; ++i) {
+            threads_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    ~PackPool() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    void worker_loop() {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(mu_);
+        for (;;) {
+            cv_.wait(lk, [&] {
+                return stop_ || (job_ != nullptr && generation_ != seen);
+            });
+            if (stop_) return;
+            seen = generation_;
+            // Hold a reference so the job outlives run()'s stack frame even
+            // if this worker is still draining when the caller returns.
+            std::shared_ptr<Job> job = job_;
+            lk.unlock();
+            const int nparts = job->nparts;
+            for (int i = job->next.fetch_add(1); i < nparts;
+                 i = job->next.fetch_add(1)) {
+                job->fn(i);
+                if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 >= nparts) {
+                    std::lock_guard<std::mutex> g(mu_);
+                    done_cv_.notify_all();
+                }
+            }
+            lk.lock();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    std::shared_ptr<Job> job_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+template <bool Pack>
+Status run_range(const TypeRef& type, void* buf, Count count, Count offset,
+                 std::byte* stream, Count span) {
+    if (span <= 0) return Status::success;
+    const Count elem = type->size();
+    const int workers = par_pack_workers();
+    // Chunk by packed offset, rounded up to whole elements so workers hit
+    // the plan kernels instead of partial-element handling.
+    Count chunk = (span + workers - 1) / workers;
+    if (elem > 0 && chunk % elem != 0) chunk += elem - chunk % elem;
+    const int nparts = static_cast<int>((span + chunk - 1) / chunk);
+    std::atomic<int> failures{0};
+    PackPool::instance().run(nparts, [&](int p) {
+        const Count off = static_cast<Count>(p) * chunk;
+        const Count len = std::min(chunk, span - off);
+        Convertor cv(type, buf, count, PackMode::auto_);
+        cv.seek(offset + off);
+        if constexpr (Pack) {
+            Count u = 0;
+            if (cv.pack({stream + off, static_cast<std::size_t>(len)}, &u) !=
+                    Status::success ||
+                u != len) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        } else {
+            if (cv.unpack({stream + off, static_cast<std::size_t>(len)}) !=
+                Status::success) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    });
+    if (nparts > 1) {
+        pack_stats().parallel_packs.fetch_add(1, std::memory_order_relaxed);
+    }
+    return failures.load() == 0 ? Status::success : Status::err_internal;
+}
+
+} // namespace
+
+Status parallel_pack_range(const TypeRef& type, const void* buf, Count count,
+                           Count offset, MutBytes dst, Count* used) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    const Count total = type->size() * count;
+    if (offset < 0 || offset > total) return Status::err_count;
+    const Count span = std::min(static_cast<Count>(dst.size()), total - offset);
+    const Status st = run_range<true>(type, const_cast<void*>(buf), count, offset,
+                                      dst.data(), span);
+    *used = st == Status::success ? span : 0;
+    return st;
+}
+
+Status parallel_unpack_range(const TypeRef& type, void* buf, Count count,
+                             Count offset, ConstBytes src) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    const Count total = type->size() * count;
+    if (offset < 0 || offset + static_cast<Count>(src.size()) > total) {
+        return Status::err_truncate;
+    }
+    return run_range<false>(type, buf, count, offset,
+                            const_cast<std::byte*>(src.data()),
+                            static_cast<Count>(src.size()));
+}
+
+Status parallel_pack(const TypeRef& type, const void* buf, Count count, MutBytes dst,
+                     Count* used) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    const Count total = type->size() * count;
+    if (static_cast<Count>(dst.size()) < total) return Status::err_truncate;
+    return parallel_pack_range(type, buf, count, 0,
+                               dst.first(static_cast<std::size_t>(total)), used);
+}
+
+Status parallel_unpack(const TypeRef& type, void* buf, Count count, ConstBytes src) {
+    if (type == nullptr || !type->committed()) return Status::err_not_committed;
+    if (static_cast<Count>(src.size()) != type->size() * count) {
+        return Status::err_count;
+    }
+    return parallel_unpack_range(type, buf, count, 0, src);
+}
+
+} // namespace mpicd::dt

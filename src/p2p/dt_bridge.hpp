@@ -20,4 +20,21 @@ namespace mpicd::p2p {
 [[nodiscard]] ucx::BufferDesc dt_recv_desc(const dt::TypeRef& type, void* buf,
                                            Count count);
 
+// --- Descriptor-context cache -------------------------------------------
+//
+// Descriptors built above share an immutable per-(layout, count) context
+// (callback table target, pinned pack plan, packed totals). Repeated sends
+// of the same datatype shape — the common case in halo exchanges and
+// bench loops — reuse the cached context instead of rebuilding it. Keyed
+// by dt::layout_fingerprint() + count and verified against the full
+// segment list on hit, so signature-equivalent-but-differently-laid-out
+// types can never alias. Active only when MPICD_PACK_PLAN is enabled.
+
+// Number of cached descriptor contexts (for tests/benches).
+[[nodiscard]] std::size_t desc_cache_size();
+
+// Drop every cached context (for tests; in-flight descriptors keep theirs
+// alive through the keepalive anchor).
+void desc_cache_clear();
+
 } // namespace mpicd::p2p

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Smoke-run one benchmark binary: tiny sweep (MPICD_BENCH_SMOKE=1), then
+# check it exited cleanly and produced its BENCH_<name>.json artifact.
+#
+#   run_bench_smoke.sh <bench-binary> [json-dir]
+#
+# json-dir defaults to a directory next to the binary; ctest points it at
+# the build tree so repeated runs overwrite rather than accumulate.
+set -eu
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <bench-binary> [json-dir]" >&2
+    exit 2
+fi
+
+bench=$1
+name=$(basename "$bench")
+dir=${2:-$(dirname "$bench")/bench_smoke_json}
+mkdir -p "$dir"
+
+MPICD_BENCH_SMOKE=1 MPICD_BENCH_JSON_DIR="$dir" "$bench"
+
+# Every bench must leave at least its own BENCH_<name>.json behind
+# (some write extra tables, e.g. ablation_pack_plan_iov).
+json="$dir/BENCH_$name.json"
+if [ ! -s "$json" ]; then
+    echo "run_bench_smoke: $bench did not write $json" >&2
+    exit 1
+fi
+echo "run_bench_smoke: OK $json"
