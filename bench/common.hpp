@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/config.hpp"
+#include "base/metrics.hpp"
 #include "base/stats.hpp"
 #include "base/time.hpp"
 #include "p2p/communicator.hpp"
@@ -144,7 +145,12 @@ public:
             }
             std::fprintf(f, "]}%s\n", r + 1 < rows_.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(f, "  ],\n  \"metrics\": ");
+        // Process-wide counter snapshot (pack path, worker protocol, fault
+        // injection, trace bookkeeping) so every artifact carries the
+        // observability context of the run that produced it.
+        metrics().write_json(f, 2);
+        std::fprintf(f, "\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", path.c_str());
     }

@@ -1,0 +1,122 @@
+#include "base/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/stats.hpp"
+#include "base/trace.hpp"
+
+namespace mpicd {
+
+struct MetricsRegistry::Impl {
+    mutable std::mutex mu;
+    // Nested maps keep snapshots naturally sorted by (group, name); the
+    // atomics are heap-anchored so references stay valid across rehashing.
+    std::map<std::string, std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>>
+        groups;
+};
+
+MetricsRegistry& MetricsRegistry::instance() noexcept {
+    // Leaked on purpose: counters and JSON dumps must stay usable from
+    // atexit hooks and destructors of objects with static storage.
+    static MetricsRegistry* reg = new MetricsRegistry();
+    return *reg;
+}
+
+MetricsRegistry& metrics() noexcept { return MetricsRegistry::instance(); }
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const noexcept {
+    static Impl* impl = new Impl();
+    return *impl;
+}
+
+std::atomic<std::uint64_t>& MetricsRegistry::counter(const std::string& group,
+                                                     const std::string& name) {
+    Impl& im = impl();
+    const std::lock_guard<std::mutex> lock(im.mu);
+    auto& slot = im.groups[group][name];
+    if (slot == nullptr) slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+    return *slot;
+}
+
+void MetricsRegistry::add(const std::string& group, const std::string& name,
+                          std::uint64_t delta) {
+    counter(group, name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+    std::vector<MetricSample> out;
+    {
+        Impl& im = impl();
+        const std::lock_guard<std::mutex> lock(im.mu);
+        for (const auto& [group, names] : im.groups) {
+            for (const auto& [name, value] : names) {
+                out.push_back(
+                    {group, name, value->load(std::memory_order_relaxed)});
+            }
+        }
+    }
+    append_pack_metrics(out);
+    trace::append_metrics(out);
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.group != b.group ? a.group < b.group : a.name < b.name;
+    });
+    return out;
+}
+
+void MetricsRegistry::reset() {
+    {
+        Impl& im = impl();
+        const std::lock_guard<std::mutex> lock(im.mu);
+        for (auto& [group, names] : im.groups) {
+            for (auto& [name, value] : names) {
+                value->store(0, std::memory_order_relaxed);
+            }
+        }
+    }
+    pack_stats().reset();
+}
+
+void MetricsRegistry::write_json(std::FILE* out, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const auto samples = snapshot();
+    std::fprintf(out, "{");
+    std::string open_group;
+    bool first_group = true;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const MetricSample& s = samples[i];
+        if (s.group != open_group) {
+            if (!open_group.empty()) std::fprintf(out, "\n%s  }", pad.c_str());
+            std::fprintf(out, "%s\n%s  \"%s\": {", first_group ? "" : ",",
+                         pad.c_str(), s.group.c_str());
+            open_group = s.group;
+            first_group = false;
+            std::fprintf(out, "\n%s    \"%s\": %llu", pad.c_str(), s.name.c_str(),
+                         static_cast<unsigned long long>(s.value));
+        } else {
+            std::fprintf(out, ",\n%s    \"%s\": %llu", pad.c_str(),
+                         s.name.c_str(),
+                         static_cast<unsigned long long>(s.value));
+        }
+    }
+    if (!open_group.empty()) std::fprintf(out, "\n%s  }", pad.c_str());
+    std::fprintf(out, "\n%s}", pad.c_str());
+}
+
+std::string MetricsRegistry::to_json(int indent) const {
+    std::string out;
+    char* buf = nullptr;
+    std::size_t len = 0;
+    std::FILE* mem = open_memstream(&buf, &len);
+    if (mem == nullptr) return "{}";
+    write_json(mem, indent);
+    std::fclose(mem);
+    out.assign(buf, len);
+    std::free(buf);
+    return out;
+}
+
+} // namespace mpicd

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "base/metrics.hpp"
+
 namespace mpicd {
 
 void RunningStats::add(double x) noexcept {
@@ -79,6 +81,19 @@ void PackStats::print(std::FILE* out) const {
 PackStats& pack_stats() noexcept {
     static PackStats instance;
     return instance;
+}
+
+void append_pack_metrics(std::vector<MetricSample>& out) {
+    const PackStatsSnapshot s = pack_stats().snapshot();
+    out.push_back({"pack", "plan_cache_hits", s.plan_cache_hits});
+    out.push_back({"pack", "plan_cache_misses", s.plan_cache_misses});
+    out.push_back({"pack", "plans_compiled", s.plans_compiled});
+    out.push_back({"pack", "kernel_bytes", s.kernel_bytes});
+    out.push_back({"pack", "generic_bytes", s.generic_bytes});
+    out.push_back({"pack", "iov_entries_before", s.iov_entries_before});
+    out.push_back({"pack", "iov_entries_after", s.iov_entries_after});
+    out.push_back({"pack", "parallel_packs", s.parallel_packs});
+    out.push_back({"pack", "skeleton_hits", s.skeleton_hits});
 }
 
 } // namespace mpicd

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <vector>
 
 namespace mpicd {
 
@@ -71,5 +72,10 @@ public:
 
 // The process-wide instance.
 [[nodiscard]] PackStats& pack_stats() noexcept;
+
+// MetricsRegistry provider: appends every pack-path counter to `out`
+// under group "pack" (see base/metrics.hpp).
+struct MetricSample;
+void append_pack_metrics(std::vector<MetricSample>& out);
 
 } // namespace mpicd

@@ -5,13 +5,26 @@
 #include <vector>
 
 #include "base/config.hpp"
+#include "base/log.hpp"
 #include "base/stats.hpp"
+#include "base/trace.hpp"
 #include "dt/pack_plan.hpp"
 
 namespace mpicd::core {
 
+Count custom_pack_frag_from_env() {
+    constexpr Count kDefault = 512 * 1024;
+    const Count v = env_int_or("MPICD_CUSTOM_PACK_FRAG", kDefault);
+    if (v <= 0) {
+        MPICD_LOG_WARN("config: MPICD_CUSTOM_PACK_FRAG=" << v
+                       << " is not positive; using the default " << kDefault);
+        return kDefault;
+    }
+    return v;
+}
+
 Count custom_pack_frag_size() {
-    static const Count v = env_int_or("MPICD_CUSTOM_PACK_FRAG", 512 * 1024);
+    static const Count v = custom_pack_frag_from_env();
     return v;
 }
 
@@ -189,6 +202,8 @@ Status lower_custom_send(const CustomDatatype& type, const void* buf, Count coun
         return Status::success;
     }
 
+    trace::Span lower_span("engine", "sg_lower_send");
+    lower_span.arg0("count", static_cast<std::uint64_t>(count));
     SimTime host_cost = 0.0;
     void* state = nullptr;
     Status st = Status::success;
@@ -207,26 +222,38 @@ Status lower_custom_send(const CustomDatatype& type, const void* buf, Count coun
             Count offset = 0;
             while (ok(st) && offset < packed) {
                 const Count want = std::min(frag, packed - offset);
+                trace::Span frag_span("engine", "custom_pack_frag");
+                frag_span.arg0("offset", static_cast<std::uint64_t>(offset));
                 Count used = 0;
                 st = type.callbacks().pack(state, buf, count, offset,
                                            backing->data() + offset, want, &used);
                 if (ok(st) && (used <= 0 || used > want)) st = Status::err_pack;
                 if (ok(st)) offset += used;
+                frag_span.arg1("used", ok(st) ? static_cast<std::uint64_t>(used) : 0);
             }
             if (ok(st)) entries.push_back({backing->data(), packed});
         }
         if (ok(st)) {
             Count region_bytes = 0;
+            trace::Span region_span("engine", "regions");
             st = collect_regions(type, state, const_cast<void*>(buf), count, entries,
                                  &region_bytes);
+            region_span.arg0("bytes", static_cast<std::uint64_t>(region_bytes));
         }
         if (ok(st)) {
+            const std::size_t before = entries.size();
             coalesce_entries(entries);
+            if (entries.size() != before) {
+                trace::instant("engine", "iov_coalesce", -1.0, "before",
+                               static_cast<std::uint64_t>(before), "after",
+                               static_cast<std::uint64_t>(entries.size()));
+            }
             skeleton_remember(type, count, entries);
         }
         type.free_state(state);
     }
     worker.advance_time(host_cost);
+    lower_span.arg1("entries", static_cast<std::uint64_t>(entries.size()));
     if (!ok(st)) return st;
 
     ucx::IovDesc iov;
@@ -267,6 +294,8 @@ CustomRecvOp& CustomRecvOp::operator=(CustomRecvOp&& other) noexcept {
 
 Status CustomRecvOp::finish(ucx::Worker& worker) {
     if (finished_) return Status::success;
+    trace::Span span("engine", "custom_unpack");
+    span.arg0("bytes", static_cast<std::uint64_t>(packed_size_));
     SimTime host_cost = 0.0;
     Status st = Status::success;
     {
@@ -300,6 +329,8 @@ Status lower_custom_recv(const CustomDatatype& type, void* buf, Count count,
         return Status::success;
     }
 
+    trace::Span lower_span("engine", "sg_lower_recv");
+    lower_span.arg0("count", static_cast<std::uint64_t>(count));
     SimTime host_cost = 0.0;
     void* state = nullptr;
     Status st = Status::success;
@@ -324,6 +355,7 @@ Status lower_custom_recv(const CustomDatatype& type, void* buf, Count count,
         }
     }
     worker.advance_time(host_cost);
+    lower_span.arg1("entries", static_cast<std::uint64_t>(entries.size()));
     if (!ok(st)) {
         type.free_state(state);
         return st;

@@ -32,6 +32,12 @@ enum class CustomLowering {
 // pipeline buffer size a real implementation would use.
 [[nodiscard]] Count custom_pack_frag_size();
 
+// Uncached env read behind custom_pack_frag_size(). A non-positive
+// MPICD_CUSTOM_PACK_FRAG would make the fragment loop request zero bytes
+// per pack callback and fail every send with err_pack, so values <= 0
+// fall back to the default. Tests call this directly to cover the clamp.
+[[nodiscard]] Count custom_pack_frag_from_env();
+
 // --- Send side -------------------------------------------------------------
 
 // Lower a custom-type send buffer. Host work (query/pack callbacks) is

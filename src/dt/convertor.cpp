@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "base/stats.hpp"
+#include "base/trace.hpp"
 #include "dt/pack_plan.hpp"
 #include "dt/par_pack.hpp"
 
@@ -46,6 +47,7 @@ void Convertor::seek(Count packed_offset) {
 }
 
 Status Convertor::pack(MutBytes dst, Count* used) {
+    trace::Span span("dt", "pack");
     const auto& segs = type_->segments();
     const Count extent = type_->extent();
     const Count elem_size = type_->size();
@@ -95,11 +97,16 @@ Status Convertor::pack(MutBytes dst, Count* used) {
         pack_stats().generic_bytes.fetch_add(static_cast<std::uint64_t>(generic_bytes),
                                              std::memory_order_relaxed);
     }
+    if (span.active()) {
+        span.arg0("bytes", static_cast<std::uint64_t>(produced));
+        span.arg1("kernel", static_cast<std::uint64_t>(kernel_bytes));
+    }
     *used = produced;
     return Status::success;
 }
 
 Status Convertor::unpack(ConstBytes src) {
+    trace::Span span("dt", "unpack");
     const auto& segs = type_->segments();
     const Count extent = type_->extent();
     const Count elem_size = type_->size();
@@ -144,6 +151,10 @@ Status Convertor::unpack(ConstBytes src) {
     if (generic_bytes > 0) {
         pack_stats().generic_bytes.fetch_add(static_cast<std::uint64_t>(generic_bytes),
                                              std::memory_order_relaxed);
+    }
+    if (span.active()) {
+        span.arg0("bytes", static_cast<std::uint64_t>(consumed));
+        span.arg1("kernel", static_cast<std::uint64_t>(kernel_bytes));
     }
     return Status::success;
 }

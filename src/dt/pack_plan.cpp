@@ -4,6 +4,7 @@
 
 #include "base/config.hpp"
 #include "base/stats.hpp"
+#include "base/trace.hpp"
 
 namespace mpicd::dt {
 
@@ -18,6 +19,8 @@ bool pack_plan_enabled() noexcept {
 std::shared_ptr<const PackPlan> compile_plan(std::span<const Segment> segments,
                                              Count extent) {
     if (segments.empty()) return nullptr;
+    trace::Span span("dt", "plan_compile");
+    span.arg0("segments", static_cast<std::uint64_t>(segments.size()));
     auto plan = std::make_shared<PackPlan>();
     plan->extent = extent;
     for (const auto& s : segments) plan->elem_size += s.len;
@@ -63,6 +66,7 @@ std::shared_ptr<const PackPlan> compile_plan(std::span<const Segment> segments,
     }
 
     pack_stats().plans_compiled.fetch_add(1, std::memory_order_relaxed);
+    span.arg1("instrs", static_cast<std::uint64_t>(plan->instrs.size()));
     return plan;
 }
 

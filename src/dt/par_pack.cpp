@@ -11,24 +11,37 @@
 
 #include "base/config.hpp"
 #include "base/stats.hpp"
+#include "base/trace.hpp"
 #include "dt/convertor.hpp"
 #include "dt/pack_plan.hpp"
 
 namespace mpicd::dt {
 
+Count par_pack_threshold_from_env() noexcept {
+    const Count v =
+        static_cast<Count>(env_int_or("MPICD_PAR_PACK_THRESHOLD", Count{2} << 20));
+    // A zero or negative floor means "never parallel", not "always":
+    // normalize to 0 so par_pack_eligible's `thresh > 0` check disables
+    // the path instead of comparing against a nonsense bound.
+    return v > 0 ? v : 0;
+}
+
+int par_pack_workers_from_env() noexcept {
+    const auto hw = static_cast<std::int64_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    const auto n = env_int_or("MPICD_PAR_PACK_THREADS", std::min<std::int64_t>(4, hw));
+    // <= 0 must clamp to exactly one (serial) worker — the pool must never
+    // be sized from a non-positive count.
+    return static_cast<int>(std::clamp<std::int64_t>(n, 1, 64));
+}
+
 Count par_pack_threshold() noexcept {
-    static const Count v = static_cast<Count>(
-        env_int_or("MPICD_PAR_PACK_THRESHOLD", Count{2} << 20));
+    static const Count v = par_pack_threshold_from_env();
     return v;
 }
 
 int par_pack_workers() noexcept {
-    static const int v = [] {
-        const auto hw = static_cast<std::int64_t>(
-            std::max(1u, std::thread::hardware_concurrency()));
-        const auto n = env_int_or("MPICD_PAR_PACK_THREADS", std::min<std::int64_t>(4, hw));
-        return static_cast<int>(std::clamp<std::int64_t>(n, 1, 64));
-    }();
+    static const int v = par_pack_workers_from_env();
     return v;
 }
 
@@ -141,6 +154,7 @@ template <bool Pack>
 Status run_range(const TypeRef& type, void* buf, Count count, Count offset,
                  std::byte* stream, Count span) {
     if (span <= 0) return Status::success;
+    trace::Span fan_span("dt", Pack ? "par_pack" : "par_unpack");
     const Count elem = type->size();
     const int workers = par_pack_workers();
     // Chunk by packed offset, rounded up to whole elements so workers hit
@@ -148,8 +162,14 @@ Status run_range(const TypeRef& type, void* buf, Count count, Count offset,
     Count chunk = (span + workers - 1) / workers;
     if (elem > 0 && chunk % elem != 0) chunk += elem - chunk % elem;
     const int nparts = static_cast<int>((span + chunk - 1) / chunk);
+    if (fan_span.active()) {
+        fan_span.arg0("bytes", static_cast<std::uint64_t>(span));
+        fan_span.arg1("parts", static_cast<std::uint64_t>(nparts));
+    }
     std::atomic<int> failures{0};
     PackPool::instance().run(nparts, [&](int p) {
+        trace::Span part_span("dt", Pack ? "par_pack_part" : "par_unpack_part");
+        part_span.arg0("part", static_cast<std::uint64_t>(p));
         const Count off = static_cast<Count>(p) * chunk;
         const Count len = std::min(chunk, span - off);
         Convertor cv(type, buf, count, PackMode::auto_);

@@ -31,6 +31,13 @@ namespace mpicd::dt {
 // Pool width including the calling thread (>= 1).
 [[nodiscard]] int par_pack_workers() noexcept;
 
+// Uncached env reads behind the two getters above. The cached getters
+// latch these at first use; tests call them directly to cover the
+// clamping rules (THREADS <= 0 -> 1 serial worker, never a pool sized
+// from a non-positive count; THRESHOLD <= 0 -> 0, parallel path off).
+[[nodiscard]] Count par_pack_threshold_from_env() noexcept;
+[[nodiscard]] int par_pack_workers_from_env() noexcept;
+
 // True when an auto-mode pack of `total` packed bytes should go parallel:
 // plans enabled, threshold reached, and more than one worker available.
 [[nodiscard]] bool par_pack_eligible(Count total) noexcept;

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "base/metrics.hpp"
+#include "base/trace.hpp"
+
 namespace mpicd::netsim {
 
 Fabric::Fabric(int num_endpoints, WireParams params, FaultConfig faults)
@@ -19,6 +22,18 @@ Fabric::Fabric(int num_endpoints, WireParams params, FaultConfig faults)
     assert(num_endpoints > 0);
 }
 
+Fabric::~Fabric() {
+    const FaultCounters& c = injector_.counters();
+    if (c.packets_seen == 0) return; // injector never ran: keep groups clean
+    MetricsRegistry& m = metrics();
+    m.add("fault", "packets_seen", c.packets_seen);
+    m.add("fault", "dropped", c.dropped);
+    m.add("fault", "duplicated", c.duplicated);
+    m.add("fault", "reordered", c.reordered);
+    m.add("fault", "corrupted", c.corrupted);
+    m.add("fault", "delayed", c.delayed);
+}
+
 void Fabric::push_locked(Packet&& pkt) {
     inboxes_[static_cast<std::size_t>(pkt.dst)].q.push_back(std::move(pkt));
 }
@@ -31,6 +46,28 @@ void Fabric::deliver_locked(Packet&& pkt) {
     const auto d = injector_.decide(
         pkt.src, pkt.dst, pkt.kind,
         static_cast<std::uint64_t>(pkt.header.size() + pkt.payload.size()));
+    if (trace::enabled()) {
+        if (d.drop) {
+            trace::instant("net", "fault_drop", pkt.arrival, "kind", pkt.kind,
+                           "seq", pkt.link_seq);
+        }
+        if (d.duplicate) {
+            trace::instant("net", "fault_dup", pkt.arrival, "kind", pkt.kind,
+                           "seq", pkt.link_seq);
+        }
+        if (d.reorder) {
+            trace::instant("net", "fault_reorder", pkt.arrival, "kind",
+                           pkt.kind, "seq", pkt.link_seq);
+        }
+        if (d.corrupt) {
+            trace::instant("net", "fault_corrupt", pkt.arrival, "kind",
+                           pkt.kind, "byte", d.corrupt_byte);
+        }
+        if (d.extra_delay_us > 0.0) {
+            trace::instant("net", "fault_delay", pkt.arrival, "kind", pkt.kind,
+                           "seq", pkt.link_seq);
+        }
+    }
     pkt.arrival += d.extra_delay_us;
     if (d.corrupt) {
         // Flip one bit of the concatenated header+payload bytes. The crc
@@ -94,6 +131,8 @@ SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
     pkt.arrival = end + params_.latency_us;
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
+    trace::instant("net", "tx", arrival, "kind", pkt.kind, "bytes",
+                   static_cast<std::uint64_t>(wire_bytes));
     deliver_locked(std::move(pkt));
     lock.unlock();
     cv_.notify_all();
@@ -105,6 +144,8 @@ SimTime Fabric::transmit_control(Packet&& pkt, SimTime ready) {
     pkt.arrival = ready + params_.latency_us;
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
+    trace::instant("net", "tx_ctrl", arrival, "kind", pkt.kind, "seq",
+                   pkt.link_seq);
     deliver_locked(std::move(pkt));
     lock.unlock();
     cv_.notify_all();

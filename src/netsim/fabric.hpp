@@ -64,6 +64,9 @@ class Fabric {
 public:
     Fabric(int num_endpoints, WireParams params,
            FaultConfig faults = FaultConfig::from_env());
+    // Folds the fault-injection counters into the process-wide
+    // MetricsRegistry (group "fault") so snapshots outlive the fabric.
+    ~Fabric();
 
     [[nodiscard]] int size() const noexcept { return static_cast<int>(inboxes_.size()); }
     [[nodiscard]] const WireParams& params() const noexcept { return params_; }

@@ -7,13 +7,17 @@ namespace mpicd::netsim {
 WireParams WireParams::from_env() {
     WireParams p;
     p.latency_us = env_double_or("MPICD_LATENCY_US", p.latency_us);
-    const double gbps =
-        env_double_or("MPICD_BANDWIDTH_GBPS", p.bandwidth_Bpus * 8.0 / 1000.0);
-    p.bandwidth_Bpus = gbps * 1000.0 / 8.0;
+    // Unit-converted knobs are applied only when the variable is actually
+    // set: converting the default out to env units and back would round
+    // twice and drift the modeled transfer times between a run with no
+    // overrides and a run that re-exports the printed defaults.
+    if (const auto gbps = env_double("MPICD_BANDWIDTH_GBPS")) {
+        p.bandwidth_Bpus = *gbps * kBpusPerGbps;
+    }
     p.sg_entry_us = env_double_or("MPICD_SG_ENTRY_US", p.sg_entry_us);
-    const double host_gBps =
-        env_double_or("MPICD_HOST_COPY_GBPS", p.host_copy_Bpus / 1000.0);
-    p.host_copy_Bpus = host_gBps * 1000.0;
+    if (const auto gBps = env_double("MPICD_HOST_COPY_GBPS")) {
+        p.host_copy_Bpus = *gBps * kBpusPerGBps;
+    }
     p.eager_threshold = env_int_or("MPICD_EAGER_THRESHOLD", p.eager_threshold);
     p.iov_eager_threshold =
         env_int_or("MPICD_IOV_EAGER_THRESHOLD", p.iov_eager_threshold);
@@ -27,6 +31,28 @@ WireParams WireParams::from_env() {
     if (p.max_retries < 0) p.max_retries = 0;
     p.op_timeout_us = env_double_or("MPICD_OP_TIMEOUT_US", p.op_timeout_us);
     return p;
+}
+
+void WireParams::print(std::FILE* out) const {
+    // Every knob in the units its MPICD_* variable uses, with enough
+    // precision (%.17g) that re-exporting a printed value reproduces the
+    // double bit-for-bit.
+    std::fprintf(out, "MPICD_LATENCY_US=%.17g\n", latency_us);
+    std::fprintf(out, "MPICD_BANDWIDTH_GBPS=%.17g\n", bandwidth_gbps());
+    std::fprintf(out, "MPICD_SG_ENTRY_US=%.17g\n", sg_entry_us);
+    std::fprintf(out, "MPICD_HOST_COPY_GBPS=%.17g\n", host_copy_gBps());
+    std::fprintf(out, "MPICD_EAGER_THRESHOLD=%lld\n",
+                 static_cast<long long>(eager_threshold));
+    std::fprintf(out, "MPICD_IOV_EAGER_THRESHOLD=%lld\n",
+                 static_cast<long long>(iov_eager_threshold));
+    std::fprintf(out, "MPICD_RNDV_FRAG_SIZE=%lld\n",
+                 static_cast<long long>(rndv_frag_size));
+    std::fprintf(out, "MPICD_RNDV_CTRL_US=%.17g\n", rndv_ctrl_us);
+    std::fprintf(out, "MPICD_FRAG_OVERHEAD_US=%.17g\n", frag_overhead_us);
+    std::fprintf(out, "MPICD_RAILS=%d\n", rails);
+    std::fprintf(out, "MPICD_RTO_US=%.17g\n", rto_us);
+    std::fprintf(out, "MPICD_MAX_RETRIES=%d\n", max_retries);
+    std::fprintf(out, "MPICD_OP_TIMEOUT_US=%.17g\n", op_timeout_us);
 }
 
 } // namespace mpicd::netsim

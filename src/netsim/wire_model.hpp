@@ -8,10 +8,19 @@
 // benches (e.g. ablation_eager_threshold) can sweep them.
 #pragma once
 
+#include <cstdio>
+
 #include "base/bytes.hpp"
 #include "base/time.hpp"
 
 namespace mpicd::netsim {
+
+// Exact unit-conversion factors between the env-variable units and the
+// internal bytes-per-microsecond fields. Both are integer-valued doubles,
+// so converting a value costs exactly one correctly-rounded multiply (or
+// divide) — the round-trip print -> setenv -> from_env is lossless.
+inline constexpr double kBpusPerGbps = 1000.0 / 8.0; // == 125, exact
+inline constexpr double kBpusPerGBps = 1000.0;
 
 struct WireParams {
     // One-way per-message wire latency (us).
@@ -63,6 +72,14 @@ struct WireParams {
     // MPICD_RNDV_CTRL_US, MPICD_FRAG_OVERHEAD_US, MPICD_RTO_US,
     // MPICD_MAX_RETRIES, MPICD_OP_TIMEOUT_US.
     [[nodiscard]] static WireParams from_env();
+
+    // The values the unit-converted env variables expect.
+    [[nodiscard]] double bandwidth_gbps() const { return bandwidth_Bpus / kBpusPerGbps; }
+    [[nodiscard]] double host_copy_gBps() const { return host_copy_Bpus / kBpusPerGBps; }
+
+    // Dump every knob as MPICD_<name>=<value> in env-variable units, with
+    // enough precision to round-trip through from_env() bit-identically.
+    void print(std::FILE* out) const;
 
     // Pure helpers (no link-contention state; see Fabric for serialization).
     [[nodiscard]] SimTime serialize_time(Count bytes) const {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/stats.hpp"
+#include "base/trace.hpp"
 #include "dt/convertor.hpp"
 #include "dt/pack_plan.hpp"
 #include "dt/par_pack.hpp"
@@ -131,12 +132,16 @@ std::shared_ptr<DtCtx> lookup_ctx(const dt::TypeRef& type, Count count) {
     if (auto it = map.find(key); it != map.end()) {
         if (same_layout(it->second->type, type)) {
             pack_stats().plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+            trace::instant("p2p", "desc_cache_hit", -1.0, "fp", fp, "count",
+                           static_cast<std::uint64_t>(count));
             return it->second;
         }
         // True fingerprint collision: evict the stale entry and rebuild.
         map.erase(it);
     }
     pack_stats().plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    trace::instant("p2p", "desc_cache_miss", -1.0, "fp", fp, "count",
+                   static_cast<std::uint64_t>(count));
     auto ctx = std::make_shared<DtCtx>();
     ctx->type = type;
     ctx->count = count;

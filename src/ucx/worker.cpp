@@ -7,6 +7,8 @@
 
 #include "base/crc32.hpp"
 #include "base/log.hpp"
+#include "base/metrics.hpp"
+#include "base/trace.hpp"
 
 namespace mpicd::ucx {
 
@@ -136,7 +138,27 @@ struct Worker::Unexpected {
 Worker::Worker(netsim::Fabric& fabric, int endpoint)
     : fabric_(fabric), params_(fabric.params()), ep_(endpoint) {}
 
-Worker::~Worker() = default;
+Worker::~Worker() {
+    // Fold this worker's protocol counters into the process-wide registry
+    // so metrics snapshots (and the BENCH_*.json artifacts) aggregate every
+    // worker that ever lived, not just the ones still alive at dump time.
+    MetricsRegistry& m = metrics();
+    const WorkerStats& s = stats_;
+    m.add("worker", "eager_sends", s.eager_sends);
+    m.add("worker", "rndv_sends", s.rndv_sends);
+    m.add("worker", "rndv_rdma", s.rndv_rdma);
+    m.add("worker", "rndv_pipeline", s.rndv_pipeline);
+    m.add("worker", "bytes_sent", s.bytes_sent);
+    m.add("worker", "bytes_received", s.bytes_received);
+    m.add("worker", "unexpected_msgs", s.unexpected_msgs);
+    m.add("worker", "recv_completions", s.recv_completions);
+    m.add("worker", "retransmits", s.retransmits);
+    m.add("worker", "duplicates_suppressed", s.duplicates_suppressed);
+    m.add("worker", "corruption_detected", s.corruption_detected);
+    m.add("worker", "acks_sent", s.acks_sent);
+    m.add("worker", "acks_received", s.acks_received);
+    m.add("worker", "timeouts", s.timeouts);
+}
 
 SimTime Worker::now() {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -160,6 +182,10 @@ void Worker::complete_locked(Request& rq, Status st, Count len, Tag sender_tag) 
     rq.comp.received_len = len;
     rq.comp.sender_tag = sender_tag;
     rq.comp.vtime = clock_.now();
+    trace::instant("ucx", rq.kind == Request::Kind::recv ? "recv_complete"
+                                                         : "send_complete",
+                   rq.comp.vtime, "bytes", static_cast<std::uint64_t>(len),
+                   "status", static_cast<std::uint64_t>(st));
     // Free datatype state eagerly so user callbacks see deterministic
     // lifetime (the paper frees the state object on operation completion).
     rq.source.reset();
@@ -228,12 +254,14 @@ bool Worker::admit_packet_locked(netsim::Packet& pkt) {
     if (packet_crc(pkt) != pkt.crc) {
         // Corrupted in flight: discard without ack; the sender retransmits.
         ++stats_.corruption_detected;
+        trace::instant("ucx", "crc_drop", clock_.now(), "seq", pkt.link_seq);
         return false;
     }
     if (!seen_[pkt.src].insert(pkt.link_seq).second) {
         // Duplicate (fault-injected, or a retransmit whose original ack was
         // lost): suppress, but re-ack so the sender stops retrying.
         ++stats_.duplicates_suppressed;
+        trace::instant("ucx", "dup_drop", clock_.now(), "seq", pkt.link_seq);
         send_ack_locked(pkt);
         return false;
     }
@@ -249,6 +277,7 @@ void Worker::send_ack_locked(const netsim::Packet& pkt) {
     ack.header = encode_header(AckHeader{pkt.link_seq});
     ack.crc = packet_crc(ack); // acks are CRC'd too, but never acked
     ++stats_.acks_sent;
+    trace::instant("ucx", "ack_send", clock_.now(), "seq", pkt.link_seq);
     fabric_.transmit_control(std::move(ack), clock_.now());
 }
 
@@ -263,6 +292,7 @@ void Worker::handle_ack_locked(const netsim::Packet& pkt) {
     const auto it = pending_tx_.find(h.acked_seq);
     if (it == pending_tx_.end()) return; // stale or duplicate ack
     ++stats_.acks_received;
+    trace::instant("ucx", "ack_recv", clock_.now(), "seq", h.acked_seq);
     const RequestId owner = it->second.owner;
     pending_tx_.erase(it);
     if (owner == kInvalidRequest) return;
@@ -312,6 +342,8 @@ bool Worker::fire_timers_locked() {
         auto& ptx = pending_tx_.at(seq);
         ++ptx.retries;
         ++stats_.retransmits;
+        trace::instant("ucx", "retransmit", now, "seq", seq, "retry",
+                       static_cast<std::uint64_t>(ptx.retries));
         ptx.rto *= 2.0; // exponential backoff in virtual time
         netsim::Packet copy = ptx.pkt;
         const SimTime arrival =
@@ -327,6 +359,7 @@ bool Worker::fire_timers_locked() {
         const RequestId owner = it->second.owner;
         pending_tx_.erase(it);
         ++stats_.timeouts;
+        trace::instant("ucx", "timeout", now, "seq", seq);
         fail_request_locked(owner, Status::timeout);
         fired = true;
     }
@@ -429,6 +462,9 @@ void Worker::start_send_locked(Request& rq) {
         pkt.kind = kEager;
         pkt.header = encode_header(EagerHeader{rq.tag, total});
         pkt.payload = std::move(payload);
+        trace::instant("ucx", "eager_send", clock_.now(), "bytes",
+                       static_cast<std::uint64_t>(total), "tag",
+                       static_cast<std::uint64_t>(rq.tag));
         send_packet_locked(std::move(pkt), clock_.now(), total,
                            rq.source->sg_entries(), /*rail=*/0,
                            /*control=*/false, &rq);
@@ -457,6 +493,8 @@ void Worker::start_send_locked(Request& rq) {
     pkt.dst = rq.peer;
     pkt.kind = kRts;
     pkt.header = encode_header(RtsHeader{rq.tag, rq.op_id, total});
+    trace::instant("ucx", "rndv_rts", clock_.now(), "bytes",
+                   static_cast<std::uint64_t>(total), "op", rq.op_id);
     send_packet_locked(std::move(pkt), clock_.now() + params_.rndv_ctrl_us,
                        /*wire_bytes=*/0, /*sg_entries=*/1, /*rail=*/0,
                        /*control=*/true, &rq);
@@ -578,6 +616,8 @@ void Worker::send_cts_locked(Request& rq, int src, std::uint64_t sender_op) {
         pkt.header =
             encode_header(CtsHeader{sender_op, rq.op_id, CtsMode::pipeline, ooo_ok});
     }
+    trace::instant("ucx", "rndv_cts", clock_.now(), "op", rq.op_id, "rdma",
+                   rq.sink->exposes_memory() ? 1 : 0);
     send_packet_locked(std::move(pkt), clock_.now() + params_.rndv_ctrl_us, 0, 1, 0,
                        /*control=*/true, &rq);
     if (reliable_) {
@@ -712,9 +752,14 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
             if (!ok(st)) break;
             data_done = fabric_.rdma_cost(ep_, rq.peer, used, first ? sg : 1,
                                           clock_.now() + params_.frag_overhead_us);
+            trace::instant("ucx", "rdma_frag", data_done, "offset",
+                           static_cast<std::uint64_t>(offset), "bytes",
+                           static_cast<std::uint64_t>(used));
             offset += used;
             first = false;
         }
+        trace::instant("ucx", "rndv_rdma", data_done, "bytes",
+                       static_cast<std::uint64_t>(offset), "op", h.recv_op);
         netsim::Packet fin;
         fin.src = ep_;
         fin.dst = rq.peer;
@@ -759,6 +804,9 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         fp.kind = kFrag;
         fp.header = encode_header(FragHeader{h.recv_op, offset, total, last ? 1u : 0u});
         fp.payload = std::move(frag);
+        trace::instant("ucx", "frag_send", clock_.now(), "offset",
+                       static_cast<std::uint64_t>(offset), "bytes",
+                       static_cast<std::uint64_t>(used));
         send_packet_locked(std::move(fp), clock_.now() + params_.frag_overhead_us,
                            used, rq.source->sg_entries(),
                            stripe ? frag_idx % params_.rails : 0,
@@ -797,6 +845,8 @@ void Worker::handle_fin_locked(netsim::Packet&& pkt) {
     Request& rq = *requests_.at(it->second);
     rndv_recvs_.erase(it);
     clock_.observe(h.data_vtime);
+    trace::instant("ucx", "rndv_fin", clock_.now(), "bytes",
+                   static_cast<std::uint64_t>(h.total), "op", h.recv_op);
     complete_locked(rq, static_cast<Status>(h.status), h.total, rq.comp.sender_tag);
 }
 
@@ -806,6 +856,9 @@ void Worker::handle_frag_locked(netsim::Packet&& pkt) {
     const auto it = rndv_recvs_.find(h.recv_op);
     if (it == rndv_recvs_.end()) return;
     Request& rq = *requests_.at(it->second);
+    trace::instant("ucx", "frag_recv", clock_.now(), "offset",
+                   static_cast<std::uint64_t>(h.offset), "bytes",
+                   static_cast<std::uint64_t>(pkt.payload.size()));
     // The stream is alive: push the operation watchdog out.
     if (rq.op_deadline > 0.0)
         rq.op_deadline = clock_.now() + params_.effective_op_timeout();

@@ -7,6 +7,8 @@
 #include "base/stats.hpp"
 #include "base/status.hpp"
 #include "base/time.hpp"
+#include "core/engine.hpp"
+#include "dt/par_pack.hpp"
 
 namespace mpicd {
 namespace {
@@ -86,6 +88,89 @@ TEST(Config, GarbageIsNullopt) {
     EXPECT_FALSE(env_double("MPICD_TEST_VAR").has_value());
     EXPECT_FALSE(env_int("MPICD_TEST_VAR").has_value());
     unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Config, TrailingGarbageIsRejected) {
+    // "32k" parsed with a bare strtoll would silently yield 32 — the
+    // classic mis-set threshold. The parser must reject it outright and
+    // let the caller's default apply.
+    setenv("MPICD_TEST_VAR", "32k", 1);
+    EXPECT_FALSE(env_int("MPICD_TEST_VAR").has_value());
+    EXPECT_EQ(env_int_or("MPICD_TEST_VAR", 7), 7);
+    setenv("MPICD_TEST_VAR", "1.5x", 1);
+    EXPECT_FALSE(env_double("MPICD_TEST_VAR").has_value());
+    EXPECT_DOUBLE_EQ(env_double_or("MPICD_TEST_VAR", 2.5), 2.5);
+    setenv("MPICD_TEST_VAR", "12 34", 1);
+    EXPECT_FALSE(env_int("MPICD_TEST_VAR").has_value());
+    unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Config, TrailingWhitespaceIsAccepted) {
+    setenv("MPICD_TEST_VAR", "42 ", 1);
+    EXPECT_EQ(env_int("MPICD_TEST_VAR").value(), 42);
+    setenv("MPICD_TEST_VAR", "3.5\t", 1);
+    EXPECT_DOUBLE_EQ(env_double("MPICD_TEST_VAR").value(), 3.5);
+    unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Config, OutOfRangeIsRejected) {
+    setenv("MPICD_TEST_VAR", "1e999", 1);
+    EXPECT_FALSE(env_double("MPICD_TEST_VAR").has_value());
+    EXPECT_DOUBLE_EQ(env_double_or("MPICD_TEST_VAR", 1.25), 1.25);
+    setenv("MPICD_TEST_VAR", "99999999999999999999999999", 1);
+    EXPECT_FALSE(env_int("MPICD_TEST_VAR").has_value());
+    EXPECT_EQ(env_int_or("MPICD_TEST_VAR", 11), 11);
+    unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Config, EmptyValueIsNullopt) {
+    setenv("MPICD_TEST_VAR", "", 1);
+    EXPECT_FALSE(env_int("MPICD_TEST_VAR").has_value());
+    EXPECT_FALSE(env_double("MPICD_TEST_VAR").has_value());
+    EXPECT_FALSE(env_string("MPICD_TEST_VAR").has_value());
+    unsetenv("MPICD_TEST_VAR");
+}
+
+TEST(Config, ParPackThreadsClampsToOneWorker) {
+    // Zero or negative pool widths must degrade to one (serial) worker,
+    // never to an empty or negatively-sized pool.
+    setenv("MPICD_PAR_PACK_THREADS", "0", 1);
+    EXPECT_EQ(dt::par_pack_workers_from_env(), 1);
+    setenv("MPICD_PAR_PACK_THREADS", "-4", 1);
+    EXPECT_EQ(dt::par_pack_workers_from_env(), 1);
+    setenv("MPICD_PAR_PACK_THREADS", "9999", 1);
+    EXPECT_EQ(dt::par_pack_workers_from_env(), 64);
+    setenv("MPICD_PAR_PACK_THREADS", "3", 1);
+    EXPECT_EQ(dt::par_pack_workers_from_env(), 3);
+    // Malformed counts fall back to the default (>= 1 either way).
+    setenv("MPICD_PAR_PACK_THREADS", "4k", 1);
+    EXPECT_GE(dt::par_pack_workers_from_env(), 1);
+    unsetenv("MPICD_PAR_PACK_THREADS");
+}
+
+TEST(Config, ParPackThresholdClampsToDisabled) {
+    setenv("MPICD_PAR_PACK_THRESHOLD", "-1", 1);
+    EXPECT_EQ(dt::par_pack_threshold_from_env(), 0);
+    setenv("MPICD_PAR_PACK_THRESHOLD", "0", 1);
+    EXPECT_EQ(dt::par_pack_threshold_from_env(), 0);
+    setenv("MPICD_PAR_PACK_THRESHOLD", "65536", 1);
+    EXPECT_EQ(dt::par_pack_threshold_from_env(), 65536);
+    unsetenv("MPICD_PAR_PACK_THRESHOLD");
+    EXPECT_EQ(dt::par_pack_threshold_from_env(), Count{2} << 20);
+}
+
+TEST(Config, CustomPackFragClampsToDefault) {
+    // A non-positive fragment size would make every pack callback request
+    // zero bytes and fail the send with err_pack; it must fall back.
+    constexpr Count kDefault = 512 * 1024;
+    setenv("MPICD_CUSTOM_PACK_FRAG", "0", 1);
+    EXPECT_EQ(core::custom_pack_frag_from_env(), kDefault);
+    setenv("MPICD_CUSTOM_PACK_FRAG", "-65536", 1);
+    EXPECT_EQ(core::custom_pack_frag_from_env(), kDefault);
+    setenv("MPICD_CUSTOM_PACK_FRAG", "4096", 1);
+    EXPECT_EQ(core::custom_pack_frag_from_env(), 4096);
+    unsetenv("MPICD_CUSTOM_PACK_FRAG");
+    EXPECT_EQ(core::custom_pack_frag_from_env(), kDefault);
 }
 
 TEST(Stats, EmptyIsZero) {

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Run the trace demo with tracing enabled and validate the artifact:
+#
+#   run_trace_demo.sh <trace_demo-binary> [out-dir]
+#
+# The demo pushes lossy derived-datatype and custom-serialized traffic
+# through the stack; this script checks that the resulting Chrome
+# trace-event file is well-formed JSON and contains the pack-fragment,
+# SG-lowering, rendezvous, and retransmit events the instrumentation
+# promises (see docs/OBSERVABILITY.md). Wired into ctest under the
+# `trace` label: run with `ctest -L trace`.
+set -eu
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <trace_demo-binary> [out-dir]" >&2
+    exit 2
+fi
+
+demo=$1
+dir=${2:-$(dirname "$demo")/trace_demo_out}
+mkdir -p "$dir"
+out="$dir/trace_demo.json"
+rm -f "$out"
+
+MPICD_TRACE=1 MPICD_TRACE_FILE="$out" "$demo"
+
+if [ ! -s "$out" ]; then
+    echo "run_trace_demo: $demo did not write $out" >&2
+    exit 1
+fi
+
+# Well-formed Chrome trace-event JSON (loadable by Perfetto / about:tracing).
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$out" > /dev/null || {
+        echo "run_trace_demo: $out is not valid JSON" >&2
+        exit 1
+    }
+else
+    echo "run_trace_demo: python3 not found, skipping JSON validation" >&2
+fi
+
+# The run must have captured each instrumented layer: custom-type pack
+# fragments and SG lowering (engine), the rendezvous handshake and pipeline
+# fragments (ucx), the recovery from the scheduled drop, and the fault
+# injector's view of it (net).
+for ev in custom_pack_frag sg_lower_send rndv_rts frag_send retransmit fault_drop; do
+    if ! grep -q "\"$ev\"" "$out"; then
+        echo "run_trace_demo: no \"$ev\" event in $out" >&2
+        exit 1
+    fi
+done
+
+echo "run_trace_demo: OK $out"
