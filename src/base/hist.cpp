@@ -1,0 +1,90 @@
+#include "base/hist.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mpicd {
+
+int hist_bucket_index(std::uint64_t value) noexcept {
+    return static_cast<int>(std::bit_width(value));
+}
+
+std::uint64_t hist_bucket_lo(int index) noexcept {
+    if (index <= 0) return 0;
+    return std::uint64_t{1} << (index - 1);
+}
+
+std::uint64_t hist_bucket_hi(int index) noexcept {
+    if (index <= 0) return 1;
+    if (index >= Histogram::kBuckets) return ~std::uint64_t{0};
+    return std::uint64_t{1} << index;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+    const int idx =
+        std::min(hist_bucket_index(value), Histogram::kBuckets - 1);
+    buckets_[static_cast<std::size_t>(idx)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value && !max_.compare_exchange_weak(
+                               prev, value, std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kBuckets; ++i) {
+        s.buckets[static_cast<std::size_t>(i)] =
+            buckets_[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed);
+    }
+    return s;
+}
+
+void Histogram::reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::mean() const noexcept {
+    if (count == 0) return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::percentile(double p) const noexcept {
+    if (count == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    // Target rank in [1, count]: the k-th smallest observation, allowing a
+    // fractional k for interpolation between ranks.
+    const double rank =
+        std::max(1.0, p / 100.0 * static_cast<double>(count));
+    std::uint64_t cum = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+        const std::uint64_t in_bucket =
+            buckets[static_cast<std::size_t>(i)];
+        if (in_bucket == 0) continue;
+        if (static_cast<double>(cum + in_bucket) >= rank) {
+            const double lo = static_cast<double>(hist_bucket_lo(i));
+            const double hi = static_cast<double>(hist_bucket_hi(i));
+            const double frac =
+                (rank - static_cast<double>(cum)) /
+                static_cast<double>(in_bucket);
+            const double est = lo + frac * (hi - lo);
+            // Never report beyond the observed maximum (the top bucket's
+            // upper bound can exceed it by up to 2x).
+            return std::min(est, static_cast<double>(max));
+        }
+        cum += in_bucket;
+    }
+    return static_cast<double>(max);
+}
+
+} // namespace mpicd

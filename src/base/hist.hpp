@@ -1,0 +1,67 @@
+// Log2-bucket histograms for latency/throughput distributions (see
+// docs/OBSERVABILITY.md).
+//
+// A Histogram is a fixed array of 64 power-of-two buckets: value v lands
+// in bucket bit_width(v) (bucket 0 holds only v == 0, bucket i >= 1 holds
+// [2^(i-1), 2^i)). Recording is one relaxed fetch_add per counter — no
+// locks, no allocation — so hot paths (per-message completion, per-
+// fragment send) can record unconditionally. Percentiles are estimated
+// from a snapshot by linear interpolation inside the covering bucket,
+// which bounds the relative error by the bucket width (a factor of 2).
+//
+// Histograms live in the MetricsRegistry next to the scalar counters and
+// are emitted into every BENCH_<name>.json as
+//   {"count": n, "sum": s, "max": m, "mean": x, "p50": a, "p95": b, "p99": c}
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace mpicd {
+
+class Histogram {
+public:
+    static constexpr int kBuckets = 64;
+
+    // Point-in-time copy of a histogram; all derived statistics are
+    // computed on snapshots so they are self-consistent.
+    struct Snapshot {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t max = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        [[nodiscard]] double mean() const noexcept;
+        // p in [0, 100]. Linear interpolation within the covering log2
+        // bucket, clamped to the observed max. Returns 0 when empty.
+        [[nodiscard]] double percentile(double p) const noexcept;
+    };
+
+    Histogram() = default;
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    // Record one observation (relaxed atomics; safe from any thread).
+    void record(std::uint64_t value) noexcept;
+
+    [[nodiscard]] Snapshot snapshot() const noexcept;
+    void reset() noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+// Bucket index for a value: 0 for 0, otherwise the bit width (so bucket i
+// covers [2^(i-1), 2^i)). Exposed for the unit tests.
+[[nodiscard]] int hist_bucket_index(std::uint64_t value) noexcept;
+
+// Inclusive lower / exclusive upper bound of a bucket (bucket 0 is the
+// degenerate [0, 1) range).
+[[nodiscard]] std::uint64_t hist_bucket_lo(int index) noexcept;
+[[nodiscard]] std::uint64_t hist_bucket_hi(int index) noexcept;
+
+} // namespace mpicd

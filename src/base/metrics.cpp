@@ -17,6 +17,8 @@ struct MetricsRegistry::Impl {
     // atomics are heap-anchored so references stay valid across rehashing.
     std::map<std::string, std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>>
         groups;
+    std::map<std::string, std::map<std::string, std::unique_ptr<Histogram>>>
+        hists;
 };
 
 MetricsRegistry& MetricsRegistry::instance() noexcept {
@@ -45,6 +47,27 @@ std::atomic<std::uint64_t>& MetricsRegistry::counter(const std::string& group,
 void MetricsRegistry::add(const std::string& group, const std::string& name,
                           std::uint64_t delta) {
     counter(group, name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& group,
+                                      const std::string& name) {
+    Impl& im = impl();
+    const std::lock_guard<std::mutex> lock(im.mu);
+    auto& slot = im.hists[group][name];
+    if (slot == nullptr) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<HistSample> MetricsRegistry::hist_snapshot() const {
+    std::vector<HistSample> out;
+    Impl& im = impl();
+    const std::lock_guard<std::mutex> lock(im.mu);
+    for (const auto& [group, names] : im.hists) {
+        for (const auto& [name, hist] : names) {
+            out.push_back({group, name, hist->snapshot()});
+        }
+    }
+    return out; // nested maps keep (group, name) order
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
@@ -76,33 +99,50 @@ void MetricsRegistry::reset() {
                 value->store(0, std::memory_order_relaxed);
             }
         }
+        for (auto& [group, names] : im.hists) {
+            for (auto& [name, hist] : names) hist->reset();
+        }
     }
     pack_stats().reset();
 }
 
 void MetricsRegistry::write_json(std::FILE* out, int indent) const {
     const std::string pad(static_cast<std::size_t>(indent), ' ');
-    const auto samples = snapshot();
-    std::fprintf(out, "{");
-    std::string open_group;
-    bool first_group = true;
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const MetricSample& s = samples[i];
-        if (s.group != open_group) {
-            if (!open_group.empty()) std::fprintf(out, "\n%s  }", pad.c_str());
-            std::fprintf(out, "%s\n%s  \"%s\": {", first_group ? "" : ",",
-                         pad.c_str(), s.group.c_str());
-            open_group = s.group;
-            first_group = false;
-            std::fprintf(out, "\n%s    \"%s\": %llu", pad.c_str(), s.name.c_str(),
-                         static_cast<unsigned long long>(s.value));
-        } else {
-            std::fprintf(out, ",\n%s    \"%s\": %llu", pad.c_str(),
-                         s.name.c_str(),
-                         static_cast<unsigned long long>(s.value));
-        }
+    // Counters render as bare numbers, histograms as one-line objects;
+    // merging both into one name-sorted map per group keeps each group a
+    // single JSON object regardless of which kind a name is.
+    std::map<std::string, std::map<std::string, std::string>> rendered;
+    for (const auto& s : snapshot()) {
+        rendered[s.group][s.name] = std::to_string(s.value);
     }
-    if (!open_group.empty()) std::fprintf(out, "\n%s  }", pad.c_str());
+    for (const auto& h : hist_snapshot()) {
+        const Histogram::Snapshot& s = h.snap;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"count\": %llu, \"sum\": %llu, \"max\": %llu, "
+                      "\"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
+                      "\"p99\": %.3f}",
+                      static_cast<unsigned long long>(s.count),
+                      static_cast<unsigned long long>(s.sum),
+                      static_cast<unsigned long long>(s.max), s.mean(),
+                      s.percentile(50.0), s.percentile(95.0),
+                      s.percentile(99.0));
+        rendered[h.group][h.name] = buf;
+    }
+    std::fprintf(out, "{");
+    bool first_group = true;
+    for (const auto& [group, names] : rendered) {
+        std::fprintf(out, "%s\n%s  \"%s\": {", first_group ? "" : ",",
+                     pad.c_str(), group.c_str());
+        first_group = false;
+        bool first_name = true;
+        for (const auto& [name, value] : names) {
+            std::fprintf(out, "%s\n%s    \"%s\": %s", first_name ? "" : ",",
+                         pad.c_str(), name.c_str(), value.c_str());
+            first_name = false;
+        }
+        std::fprintf(out, "\n%s  }", pad.c_str());
+    }
     std::fprintf(out, "\n%s}", pad.c_str());
 }
 

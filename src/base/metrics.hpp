@@ -6,11 +6,15 @@
 //    counters;
 //  - built-in providers: the pack-path counters (base/stats.hpp) and the
 //    trace ring-buffer bookkeeping (base/trace.hpp) are merged into every
-//    snapshot without double-counting their hot-path storage.
+//    snapshot without double-counting their hot-path storage;
+//  - log2-bucket histograms (base/hist.hpp) created via histogram() —
+//    message latency, pack throughput, fragment sizes — emitted with
+//    count/sum/max/mean and p50/p95/p99.
 //
 // snapshot() is cheap and thread-safe; write_json() emits the nested
 // {"group": {"name": value}} object that bench/common.hpp embeds in every
-// BENCH_<name>.json artifact.
+// BENCH_<name>.json artifact; histogram entries appear inside their group
+// as nested objects.
 #pragma once
 
 #include <atomic>
@@ -19,12 +23,20 @@
 #include <string>
 #include <vector>
 
+#include "base/hist.hpp"
+
 namespace mpicd {
 
 struct MetricSample {
     std::string group;
     std::string name;
     std::uint64_t value = 0;
+};
+
+struct HistSample {
+    std::string group;
+    std::string name;
+    Histogram::Snapshot snap;
 };
 
 class MetricsRegistry {
@@ -42,12 +54,21 @@ public:
     void add(const std::string& group, const std::string& name,
              std::uint64_t delta);
 
+    // Stable-address log2 histogram for (group, name); created empty on
+    // first use, lives for the whole process. A scalar counter and a
+    // histogram may not share a (group, name).
+    [[nodiscard]] Histogram& histogram(const std::string& group,
+                                       const std::string& name);
+
     // All counters — explicit ones plus the built-in providers — sorted by
     // (group, name).
     [[nodiscard]] std::vector<MetricSample> snapshot() const;
 
-    // Zero every explicit counter and the provider-owned counters
-    // (pack-path stats, trace bookkeeping).
+    // All histograms (snapshotted), sorted by (group, name).
+    [[nodiscard]] std::vector<HistSample> hist_snapshot() const;
+
+    // Zero every explicit counter, every histogram, and the provider-owned
+    // counters (pack-path stats, trace bookkeeping).
     void reset();
 
     // JSON object {"group": {"name": value, ...}, ...}; `indent` spaces

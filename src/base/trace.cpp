@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <exception>
 #include <memory>
 #include <mutex>
 
@@ -14,6 +16,7 @@ namespace mpicd::trace {
 namespace detail {
 
 std::atomic<int> g_state{-1};
+thread_local std::uint64_t g_current_msg = 0;
 
 namespace {
 
@@ -21,6 +24,12 @@ using SteadyClock = std::chrono::steady_clock;
 
 constexpr std::size_t kDefaultCapacity = 16384;
 constexpr std::size_t kMinCapacity = 16;
+// Clamp range for the MPICD_TRACE_BUF env knob (programmatic
+// set_buffer_capacity keeps the looser kMinCapacity floor for tests).
+constexpr std::int64_t kEnvMinCapacity = 64;
+constexpr std::int64_t kEnvMaxCapacity = std::int64_t{1} << 22;
+
+std::atomic<std::uint64_t> g_next_msg{1};
 
 std::atomic<std::size_t> g_capacity{0}; // 0 = not resolved yet
 
@@ -61,11 +70,25 @@ SteadyClock::time_point epoch() {
 std::size_t ring_capacity() {
     std::size_t cap = g_capacity.load(std::memory_order_relaxed);
     if (cap == 0) {
+        // env_int_or rejects garbage/ERANGE (warning once); a value that
+        // parses but falls outside the sane range is clamped, also with a
+        // one-time warning — a 4-event ring or a 2^40-event ring are both
+        // configuration mistakes, not requests.
         const std::int64_t env = env_int_or(
             "MPICD_TRACE_BUF", static_cast<std::int64_t>(kDefaultCapacity));
-        cap = env > static_cast<std::int64_t>(kMinCapacity)
-                  ? static_cast<std::size_t>(env)
-                  : kMinCapacity;
+        std::int64_t clamped = env;
+        if (clamped < kEnvMinCapacity) clamped = kEnvMinCapacity;
+        if (clamped > kEnvMaxCapacity) clamped = kEnvMaxCapacity;
+        if (clamped != env) {
+            static std::once_flag warned;
+            std::call_once(warned, [env, clamped] {
+                MPICD_LOG_WARN("MPICD_TRACE_BUF="
+                               << env << " out of range ["
+                               << kEnvMinCapacity << ", " << kEnvMaxCapacity
+                               << "]; using " << clamped);
+            });
+        }
+        cap = static_cast<std::size_t>(clamped);
         g_capacity.store(cap, std::memory_order_relaxed);
     }
     return cap;
@@ -86,6 +109,7 @@ Ring& thread_ring() {
 }
 
 void dump_env_file();
+void install_crash_hooks();
 
 } // namespace
 
@@ -101,7 +125,10 @@ int init_from_env() noexcept {
     if (g_state.compare_exchange_strong(expected, on ? 1 : 0)) {
         if (on) {
             (void)epoch(); // pin the trace epoch at enable time
-            if (env_string("MPICD_TRACE_FILE")) std::atexit(dump_env_file);
+            if (env_string("MPICD_TRACE_FILE")) {
+                std::atexit(dump_env_file);
+                install_crash_hooks();
+            }
         }
         return on ? 1 : 0;
     }
@@ -112,12 +139,13 @@ void record(Event&& ev) {
     Ring& ring = thread_ring();
     const std::lock_guard<std::mutex> lock(ring.mu);
     ev.tid = ring.tid;
+    if (ev.msg == 0) ev.msg = g_current_msg;
     if (ring.buf.size() < ring.cap) {
         ring.buf.push_back(ev); // growth phase: next == buf.size()
     } else {
         ring.buf[ring.next] = ev;
     }
-    ring.next = (ring.next + 1) % ring.cap;
+    if (++ring.next == ring.cap) ring.next = 0;
     ++ring.recorded;
 }
 
@@ -136,9 +164,62 @@ void dump_env_file() {
     (void)write_chrome_json(*path);
 }
 
+// --- Best-effort flush on abnormal exit ------------------------------------
+//
+// A crashed test used to lose its whole trace (the only flush was atexit).
+// These hooks dump MPICD_TRACE_FILE from fatal signals and std::terminate.
+// They are not strictly async-signal-safe (ring locks, fopen); that is an
+// accepted trade for a path whose alternative is losing all evidence, and
+// the flag below makes the flush idempotent so handler re-entry (e.g.
+// terminate -> abort -> SIGABRT) writes at most once.
+
+std::atomic<bool> g_crash_flushed{false};
+
+void crash_flush_once() noexcept {
+    if (g_crash_flushed.exchange(true)) return;
+    dump_env_file();
+}
+
+std::terminate_handler g_prev_terminate = nullptr;
+
+[[noreturn]] void terminate_with_flush() {
+    crash_flush_once();
+    if (g_prev_terminate != nullptr) g_prev_terminate();
+    std::abort();
+}
+
+void crash_signal_handler(int sig) {
+    crash_flush_once();
+    // Restore the default disposition and re-raise so the process still
+    // dies the way the runner expects (core dump, non-zero exit).
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+void install_crash_hooks() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const int signals[] = {SIGSEGV, SIGABRT, SIGFPE, SIGILL,
+#ifdef SIGBUS
+                               SIGBUS,
+#endif
+        };
+        for (const int sig : signals) {
+            if (std::signal(sig, crash_signal_handler) == SIG_ERR) {
+                MPICD_LOG_WARN("trace: cannot hook signal " << sig);
+            }
+        }
+        g_prev_terminate = std::set_terminate(terminate_with_flush);
+    });
+}
+
 } // namespace
 
 } // namespace detail
+
+std::uint64_t next_msg_id() noexcept {
+    return detail::g_next_msg.fetch_add(1, std::memory_order_relaxed);
+}
 
 void set_enabled(bool on) {
     (void)detail::epoch();
@@ -235,6 +316,11 @@ void write_event_json(std::FILE* out, const Event& ev, bool first) {
         std::fprintf(out, "\"vt_us\": %.3f", ev.vtime_us);
         first_arg = false;
     }
+    if (ev.msg != 0) {
+        std::fprintf(out, "%s\"msg\": %llu", first_arg ? "" : ", ",
+                     static_cast<unsigned long long>(ev.msg));
+        first_arg = false;
+    }
     if (ev.k0 != nullptr) {
         std::fprintf(out, "%s\"%s\": %llu", first_arg ? "" : ", ", ev.k0,
                      static_cast<unsigned long long>(ev.a0));
@@ -294,6 +380,10 @@ void write_text(std::FILE* out, std::size_t max_events) {
             std::fprintf(out, "%12s ", "-");
         }
         std::fprintf(out, "[t%02u] %s.%s", ev.tid, ev.cat, ev.name);
+        if (ev.msg != 0) {
+            std::fprintf(out, " msg=%llu",
+                         static_cast<unsigned long long>(ev.msg));
+        }
         if (ev.dur_us >= 0.0) std::fprintf(out, " dur=%.3fus", ev.dur_us);
         if (ev.k0 != nullptr) {
             std::fprintf(out, " %s=%llu", ev.k0,

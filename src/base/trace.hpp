@@ -13,13 +13,24 @@
 // no clock reads. Enabled, a site takes its own thread's ring lock
 // (uncontended) and one steady-clock read.
 //
+// Message causality: every send/recv operation owns a process-unique
+// message id (next_msg_id()). Layers thread it with a thread-local
+// MsgScope — any event recorded inside the scope is stamped with the id
+// automatically — and the ucx wire carries it inside every packet the
+// message produces, so one trace file reconstructs the full per-message
+// span tree (pack -> lower -> packets incl. retransmits -> unpack); see
+// tools/trace_analyze.py.
+//
 // Env knobs:
 //   MPICD_TRACE=1        enable event recording from process start
 //   MPICD_TRACE_FILE=p   dump at process exit: Chrome trace-event JSON
 //                        (open in Perfetto / chrome://tracing) unless `p`
-//                        ends in ".txt", then the compact text timeline
-//   MPICD_TRACE_BUF=n    per-thread ring capacity in events (default 16384;
-//                        the ring wraps, keeping the newest events)
+//                        ends in ".txt", then the compact text timeline.
+//                        Also flushed best-effort from fatal signals and
+//                        std::terminate, so crashes keep their trace.
+//   MPICD_TRACE_BUF=n    per-thread ring capacity in events (default 16384,
+//                        clamped to [64, 2^22]; the ring wraps, keeping
+//                        the newest events)
 #pragma once
 
 #include <atomic>
@@ -41,6 +52,7 @@ struct Event {
     std::uint64_t a0 = 0;
     const char* k1 = nullptr;
     std::uint64_t a1 = 0;
+    std::uint64_t msg = 0;   // message id (0 = not message-scoped)
     double ts_us = 0.0;      // wall time since trace epoch
     double dur_us = -1.0;    // >= 0: span ("X" phase); < 0: instant ("i")
     double vtime_us = -1.0;  // virtual netsim time; < 0: not applicable
@@ -50,6 +62,9 @@ struct Event {
 namespace detail {
 // -1 = not yet initialized from the environment, 0 = off, 1 = on.
 extern std::atomic<int> g_state;
+// The thread's open message scope; events recorded while it is non-zero
+// are stamped with this id (unless the site set one explicitly).
+extern thread_local std::uint64_t g_current_msg;
 int init_from_env() noexcept;
 void record(Event&& ev);
 [[nodiscard]] double wall_now_us() noexcept;
@@ -68,6 +83,35 @@ void set_enabled(bool on);
 // keep their size). Overrides MPICD_TRACE_BUF; clamped to >= 16.
 void set_buffer_capacity(std::size_t events);
 
+// --- Message identity -------------------------------------------------------
+
+// Allocate a process-unique message id (one relaxed fetch_add; always
+// available, ids are never 0). Every send/recv operation draws one and
+// threads it through pack, lowering, the wire, and unpack.
+[[nodiscard]] std::uint64_t next_msg_id() noexcept;
+
+// The message id of the innermost open MsgScope on this thread (0 = none).
+[[nodiscard]] inline std::uint64_t current_msg() noexcept {
+    return detail::g_current_msg;
+}
+
+// RAII message scope: while alive, every event this thread records is
+// stamped with `id`. Scopes nest; the previous id is restored on exit.
+// Cheap enough to open unconditionally (two thread-local stores).
+class MsgScope {
+public:
+    explicit MsgScope(std::uint64_t id) noexcept
+        : prev_(detail::g_current_msg) {
+        detail::g_current_msg = id;
+    }
+    ~MsgScope() { detail::g_current_msg = prev_; }
+    MsgScope(const MsgScope&) = delete;
+    MsgScope& operator=(const MsgScope&) = delete;
+
+private:
+    std::uint64_t prev_;
+};
+
 // Record an instant event; a no-op when tracing is off (sites that
 // compute args should still check enabled() first to skip that work).
 void instant(const char* cat, const char* name, double vtime_us = -1.0,
@@ -79,8 +123,11 @@ void instant(const char* cat, const char* name, double vtime_us = -1.0,
 // timestamp may be filled in while the span is open.
 class Span {
 public:
-    Span(const char* cat, const char* name) {
-        if (enabled()) {
+    // `suppressed` skips the span entirely (both clock reads and the ring
+    // store) — for call sites that are already covered by an enclosing
+    // span and would double-count the same work in analysis.
+    Span(const char* cat, const char* name, bool suppressed = false) {
+        if (!suppressed && enabled()) {
             active_ = true;
             ev_.cat = cat;
             ev_.name = name;

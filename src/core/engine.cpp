@@ -6,6 +6,7 @@
 
 #include "base/config.hpp"
 #include "base/log.hpp"
+#include "base/metrics.hpp"
 #include "base/stats.hpp"
 #include "base/trace.hpp"
 #include "dt/pack_plan.hpp"
@@ -220,16 +221,30 @@ Status lower_custom_send(const CustomDatatype& type, const void* buf, Count coun
             backing = std::make_shared<ByteVec>(static_cast<std::size_t>(packed));
             const Count frag = custom_pack_frag_size();
             Count offset = 0;
-            while (ok(st) && offset < packed) {
-                const Count want = std::min(frag, packed - offset);
-                trace::Span frag_span("engine", "custom_pack_frag");
-                frag_span.arg0("offset", static_cast<std::uint64_t>(offset));
-                Count used = 0;
-                st = type.callbacks().pack(state, buf, count, offset,
-                                           backing->data() + offset, want, &used);
-                if (ok(st) && (used <= 0 || used > want)) st = Status::err_pack;
-                if (ok(st)) offset += used;
-                frag_span.arg1("used", ok(st) ? static_cast<std::uint64_t>(used) : 0);
+            SimTime pack_cost = 0.0;
+            {
+                const ScopedMeasure pack_measure(pack_cost);
+                while (ok(st) && offset < packed) {
+                    const Count want = std::min(frag, packed - offset);
+                    trace::Span frag_span("engine", "custom_pack_frag");
+                    frag_span.arg0("offset", static_cast<std::uint64_t>(offset));
+                    Count used = 0;
+                    st = type.callbacks().pack(state, buf, count, offset,
+                                               backing->data() + offset, want, &used);
+                    if (ok(st) && (used <= 0 || used > want)) st = Status::err_pack;
+                    if (ok(st)) offset += used;
+                    frag_span.arg1("used",
+                                   ok(st) ? static_cast<std::uint64_t>(used) : 0);
+                }
+            }
+            // The SG path packs here (the transport only gathers the iov),
+            // so this is where the pack-throughput samples come from.
+            // Sub-0.05us samples are timer noise, same rule as the worker.
+            if (ok(st) && pack_cost >= 0.05) {
+                static Histogram& hist =
+                    metrics().histogram("pack", "throughput_mbps");
+                hist.record(static_cast<std::uint64_t>(
+                    static_cast<double>(packed) / pack_cost));
             }
             if (ok(st)) entries.push_back({backing->data(), packed});
         }

@@ -47,7 +47,7 @@ void Convertor::seek(Count packed_offset) {
 }
 
 Status Convertor::pack(MutBytes dst, Count* used) {
-    trace::Span span("dt", "pack");
+    trace::Span span("dt", "pack", trace_suppressed_);
     const auto& segs = type_->segments();
     const Count extent = type_->extent();
     const Count elem_size = type_->size();
@@ -106,7 +106,7 @@ Status Convertor::pack(MutBytes dst, Count* used) {
 }
 
 Status Convertor::unpack(ConstBytes src) {
-    trace::Span span("dt", "unpack");
+    trace::Span span("dt", "unpack", trace_suppressed_);
     const auto& segs = type_->segments();
     const Count extent = type_->extent();
     const Count elem_size = type_->size();

@@ -45,6 +45,13 @@ public:
     // committed prefix sums).
     void seek(Count packed_offset);
 
+    // Suppress this convertor's own dt.pack/dt.unpack trace spans. For
+    // internal callers (the parallel pack engine) whose enclosing
+    // par_pack/par_pack_part spans already delimit the same bytes — the
+    // inner span would double-count the work in analysis and its cost is
+    // material on µs-scale packs.
+    void suppress_trace() noexcept { trace_suppressed_ = true; }
+
     // Copy up to dst.size() packed bytes starting at the cursor into dst;
     // advances the cursor. *used receives the bytes produced.
     [[nodiscard]] Status pack(MutBytes dst, Count* used);
@@ -83,6 +90,7 @@ private:
     Count elem_ = 0;
     std::size_t seg_ = 0;
     Count seg_into_ = 0;
+    bool trace_suppressed_ = false;
 };
 
 } // namespace mpicd::dt

@@ -168,11 +168,15 @@ Status run_range(const TypeRef& type, void* buf, Count count, Count offset,
     }
     std::atomic<int> failures{0};
     PackPool::instance().run(nparts, [&](int p) {
-        trace::Span part_span("dt", Pack ? "par_pack_part" : "par_unpack_part");
+        // A single-part fan is degenerate — the enclosing par_pack span
+        // (parts=1) already delimits it exactly, so skip the part span.
+        trace::Span part_span("dt", Pack ? "par_pack_part" : "par_unpack_part",
+                              nparts == 1);
         part_span.arg0("part", static_cast<std::uint64_t>(p));
         const Count off = static_cast<Count>(p) * chunk;
         const Count len = std::min(chunk, span - off);
         Convertor cv(type, buf, count, PackMode::auto_);
+        cv.suppress_trace();
         cv.seek(offset + off);
         if constexpr (Pack) {
             Count u = 0;

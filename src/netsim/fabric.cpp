@@ -131,6 +131,12 @@ SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
     pkt.arrival = end + params_.latency_us;
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
+    // Attribute this packet's events (tx + any fault instants from
+    // deliver_locked) to the owning message, including retransmits fired
+    // from timer context where no caller scope is open. Unattributed
+    // packets keep whatever scope the caller holds.
+    const trace::MsgScope msg_scope(
+        pkt.msg_id != 0 ? pkt.msg_id : trace::current_msg());
     trace::instant("net", "tx", arrival, "kind", pkt.kind, "bytes",
                    static_cast<std::uint64_t>(wire_bytes));
     deliver_locked(std::move(pkt));
@@ -144,6 +150,8 @@ SimTime Fabric::transmit_control(Packet&& pkt, SimTime ready) {
     pkt.arrival = ready + params_.latency_us;
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
+    const trace::MsgScope msg_scope(
+        pkt.msg_id != 0 ? pkt.msg_id : trace::current_msg());
     trace::instant("net", "tx_ctrl", arrival, "kind", pkt.kind, "seq",
                    pkt.link_seq);
     deliver_locked(std::move(pkt));

@@ -58,6 +58,14 @@ struct Packet {
     std::uint64_t link_seq = 0; // per-sender sequence number (0 = unnumbered)
     std::uint32_t crc = 0;      // CRC-32 over kind + link_seq + header + payload
     bool needs_ack = false;     // receiver must acknowledge this packet
+    // Observability fields, opaque to fabric and CRC alike: the message id
+    // this packet belongs to (0 = control traffic with no owner) and the
+    // sender's virtual time when the *message* was posted. Carried so the
+    // receiver can attribute trace events and compute end-to-end latency
+    // without a side channel; they never influence delivery, wire cost,
+    // or the fragment schedule (see the pure-observer test).
+    std::uint64_t msg_id = 0;
+    SimTime post_vtime = -1.0;
 };
 
 class Fabric {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "base/log.hpp"
+#include "base/trace.hpp"
 #include "p2p/dt_bridge.hpp"
 #include "p2p/universe.hpp"
 
@@ -42,6 +43,10 @@ bool Request::finalize_locked_completion(ucx::Completion&& comp, MsgStatus* out)
     result_.tag = decode_tag_user(comp.sender_tag);
     result_.vtime = comp.vtime;
     if (custom_ != nullptr) {
+        // Deferred custom unpack: run it under the message id the wire
+        // events were attributed to, so the engine's custom_unpack span
+        // lands in the same per-message trace group.
+        const trace::MsgScope msg_scope(comp.msg_id);
         const Status st = custom_->finish(*worker_);
         if (ok(result_.status) && !ok(st)) result_.status = st;
         result_.vtime = worker_->now();
@@ -179,6 +184,10 @@ Request Communicator::isend_custom(const void* buf, Count count,
                                    const core::CustomDatatype& type, int dst, int tag,
                                    core::CustomLowering lowering) {
     if (dst < 0 || dst >= size_) return make_error_request(Status::err_arg);
+    // Allocate the message id before lowering so the engine's pack/lowering
+    // spans and the transport's wire events all carry one id (tag_send
+    // adopts an open scope instead of allocating its own).
+    const trace::MsgScope msg_scope(trace::next_msg_id());
     ucx::BufferDesc desc;
     const Status st = core::lower_custom_send(type, buf, count, worker_, &desc, lowering);
     if (!ok(st)) return make_error_request(st);

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "base/crc32.hpp"
+#include "base/flight_recorder.hpp"
 #include "base/log.hpp"
 #include "base/metrics.hpp"
 #include "base/trace.hpp"
@@ -13,6 +14,33 @@
 namespace mpicd::ucx {
 
 namespace {
+
+// Always-on distribution metrics (one relaxed fetch_add per record; see
+// base/hist.hpp). Looked up once — the registry lookup takes a lock.
+Histogram& msg_latency_hist() {
+    static Histogram& h = metrics().histogram("msg", "latency_ns");
+    return h;
+}
+Histogram& retransmits_hist() {
+    static Histogram& h = metrics().histogram("msg", "retransmits");
+    return h;
+}
+Histogram& frag_bytes_hist() {
+    static Histogram& h = metrics().histogram("wire", "frag_bytes");
+    return h;
+}
+Histogram& pack_mbps_hist() {
+    static Histogram& h = metrics().histogram("pack", "throughput_mbps");
+    return h;
+}
+
+// Record the throughput of one measured pack callback. Sub-0.05us samples
+// are noise (timer granularity), not throughput.
+void record_pack_throughput(Count bytes, SimTime host_us) {
+    if (host_us < 0.05 || bytes <= 0) return;
+    pack_mbps_hist().record(
+        static_cast<std::uint64_t>(static_cast<double>(bytes) / host_us));
+}
 
 // Packet kinds on the simulated wire (public: ucx/wire.hpp).
 using wire::kAck;
@@ -113,6 +141,14 @@ struct Worker::Request {
     bool done = false;
     Completion comp;
 
+    // Message-causal observability (see base/trace.hpp): the process-
+    // unique message id, the virtual post time at the *sender* (adopted
+    // from the wire on the receive side; < 0 until known), and how many
+    // retransmits this operation's packets needed.
+    std::uint64_t msg_id = 0;
+    SimTime post_vtime = -1.0;
+    std::uint64_t retransmits = 0;
+
     // Reliable-delivery bookkeeping (unused when the protocol is off).
     int unacked = 0;            // outgoing packets not yet acknowledged
     bool finish_on_ack = false; // complete with fin_* once unacked hits 0
@@ -133,12 +169,30 @@ struct Worker::Unexpected {
     ByteVec payload;            // eager only
     std::uint64_t sender_op = 0; // rts only
     SimTime arrival = 0.0;
+    std::uint64_t msg_id = 0;   // sender's message id (from the packet)
+    SimTime post_vtime = -1.0;  // sender's virtual post time
 };
 
 Worker::Worker(netsim::Fabric& fabric, int endpoint)
-    : fabric_(fabric), params_(fabric.params()), ep_(endpoint) {}
+    : fabric_(fabric), params_(fabric.params()), ep_(endpoint) {
+    // Dump source for the post-mortem flight recorder. The callback is
+    // invoked by *other* triggers, so it must try_lock: if this worker is
+    // busy (or is itself mid-trigger) its state is reported as busy rather
+    // than deadlocking.
+    char name[32];
+    std::snprintf(name, sizeof(name), "ucx.worker%d", ep_);
+    flight_token_ = flight::register_source(name, [this](std::FILE* out) {
+        const std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+        if (!lock.owns_lock()) {
+            std::fprintf(out, "<busy: worker mutex held>\n");
+            return;
+        }
+        dump_state_locked(out);
+    });
+}
 
 Worker::~Worker() {
+    flight::unregister_source(flight_token_);
     // Fold this worker's protocol counters into the process-wide registry
     // so metrics snapshots (and the BENCH_*.json artifacts) aggregate every
     // worker that ever lived, not just the ones still alive at dump time.
@@ -182,10 +236,26 @@ void Worker::complete_locked(Request& rq, Status st, Count len, Tag sender_tag) 
     rq.comp.received_len = len;
     rq.comp.sender_tag = sender_tag;
     rq.comp.vtime = clock_.now();
+    rq.comp.msg_id = rq.msg_id;
+    // Completion may fire from ack/timer context where no scope is open;
+    // the explicit scope pins the event to the right message either way.
+    const trace::MsgScope msg_scope(rq.msg_id);
     trace::instant("ucx", rq.kind == Request::Kind::recv ? "recv_complete"
                                                          : "send_complete",
                    rq.comp.vtime, "bytes", static_cast<std::uint64_t>(len),
                    "status", static_cast<std::uint64_t>(st));
+    if (rq.kind == Request::Kind::recv && ok(st) && rq.post_vtime >= 0.0 &&
+        rq.comp.vtime >= rq.post_vtime) {
+        // End-to-end message latency, sender post to receiver completion,
+        // in virtual nanoseconds.
+        msg_latency_hist().record(static_cast<std::uint64_t>(
+            (rq.comp.vtime - rq.post_vtime) * 1000.0));
+    }
+    if (rq.kind == Request::Kind::send) {
+        // Distribution of retransmits per message — zeros included, so the
+        // high percentiles read directly as "how bad is the lossy tail".
+        retransmits_hist().record(rq.retransmits);
+    }
     // Free datatype state eagerly so user callbacks see deterministic
     // lifetime (the paper frees the state object on operation completion).
     rq.source.reset();
@@ -244,6 +314,8 @@ void Worker::send_packet_locked(netsim::Packet&& pkt, SimTime ready,
 }
 
 bool Worker::admit_packet_locked(netsim::Packet& pkt) {
+    // Progress runs outside any message scope; the packet knows its owner.
+    const trace::MsgScope msg_scope(pkt.msg_id);
     if (pkt.kind == kAck) {
         handle_ack_locked(pkt);
         return false;
@@ -255,6 +327,11 @@ bool Worker::admit_packet_locked(netsim::Packet& pkt) {
         // Corrupted in flight: discard without ack; the sender retransmits.
         ++stats_.corruption_detected;
         trace::instant("ucx", "crc_drop", clock_.now(), "seq", pkt.link_seq);
+        if (flight::enabled()) {
+            flight::trigger("crc_failure", pkt.msg_id, clock_.now(),
+                            flight_token_,
+                            [this](std::FILE* out) { dump_state_locked(out); });
+        }
         return false;
     }
     if (!seen_[pkt.src].insert(pkt.link_seq).second) {
@@ -275,6 +352,7 @@ void Worker::send_ack_locked(const netsim::Packet& pkt) {
     ack.dst = pkt.src;
     ack.kind = kAck;
     ack.header = encode_header(AckHeader{pkt.link_seq});
+    ack.msg_id = pkt.msg_id; // attribute the ack to the message it serves
     ack.crc = packet_crc(ack); // acks are CRC'd too, but never acked
     ++stats_.acks_sent;
     trace::instant("ucx", "ack_send", clock_.now(), "seq", pkt.link_seq);
@@ -342,8 +420,16 @@ bool Worker::fire_timers_locked() {
         auto& ptx = pending_tx_.at(seq);
         ++ptx.retries;
         ++stats_.retransmits;
+        // Timer context has no open scope: attribute the retransmit (and
+        // the per-request counter feeding the retransmits histogram) via
+        // the stored packet's message id.
+        const trace::MsgScope msg_scope(ptx.pkt.msg_id);
         trace::instant("ucx", "retransmit", now, "seq", seq, "retry",
                        static_cast<std::uint64_t>(ptx.retries));
+        if (ptx.owner != kInvalidRequest) {
+            const auto rit = requests_.find(ptx.owner);
+            if (rit != requests_.end()) ++rit->second->retransmits;
+        }
         ptx.rto *= 2.0; // exponential backoff in virtual time
         netsim::Packet copy = ptx.pkt;
         const SimTime arrival =
@@ -357,9 +443,15 @@ bool Worker::fire_timers_locked() {
         const auto it = pending_tx_.find(seq);
         if (it == pending_tx_.end()) continue; // removed by an earlier failure
         const RequestId owner = it->second.owner;
+        const std::uint64_t msg = it->second.pkt.msg_id;
         pending_tx_.erase(it);
         ++stats_.timeouts;
+        const trace::MsgScope msg_scope(msg);
         trace::instant("ucx", "timeout", now, "seq", seq);
+        if (flight::enabled()) {
+            flight::trigger("retries_exhausted", msg, now, flight_token_,
+                            [this](std::FILE* out) { dump_state_locked(out); });
+        }
         fail_request_locked(owner, Status::timeout);
         fired = true;
     }
@@ -377,6 +469,15 @@ bool Worker::fire_timers_locked() {
         }
         for (const RequestId rid : expired) {
             ++stats_.timeouts;
+            if (flight::enabled()) {
+                const auto rit = requests_.find(rid);
+                const std::uint64_t msg =
+                    rit != requests_.end() ? rit->second->msg_id : 0;
+                flight::trigger("recv_watchdog_expired", msg, now,
+                                flight_token_, [this](std::FILE* out) {
+                                    dump_state_locked(out);
+                                });
+            }
             fail_request_locked(rid, Status::timeout);
             fired = true;
         }
@@ -418,8 +519,18 @@ RequestId Worker::tag_send(int dst, Tag tag, BufferDesc desc) {
     rq->tag = tag;
     rq->peer = dst;
     rq->desc = std::move(desc);
+    // Adopt the caller's message scope when one is open (the p2p layer
+    // opens it before custom-type lowering so the pack/lowering events and
+    // the wire share one id); direct worker users get a fresh id here.
+    rq->msg_id = trace::current_msg();
+    if (rq->msg_id == 0) rq->msg_id = trace::next_msg_id();
+    rq->post_vtime = clock_.now();
     requests_.emplace(id, std::move(rq));
-    start_send_locked(*requests_.at(id));
+    Request& req = *requests_.at(id);
+    const trace::MsgScope msg_scope(req.msg_id);
+    trace::instant("ucx", "send_post", req.post_vtime, "dst",
+                   static_cast<std::uint64_t>(dst), "tag", tag);
+    start_send_locked(req);
     return id;
 }
 
@@ -452,16 +563,20 @@ void Worker::start_send_locked(Request& rq) {
         SimTime pack_cost = 0.0;
         const Status rst = rq.source->read(0, payload, &used, pack_cost);
         clock_.advance(pack_cost);
+        record_pack_throughput(used, pack_cost);
         if (!ok(rst) || used != total) {
             complete_locked(rq, ok(rst) ? Status::err_pack : rst, 0, 0);
             return;
         }
+        frag_bytes_hist().record(static_cast<std::uint64_t>(total));
         netsim::Packet pkt;
         pkt.src = ep_;
         pkt.dst = rq.peer;
         pkt.kind = kEager;
         pkt.header = encode_header(EagerHeader{rq.tag, total});
         pkt.payload = std::move(payload);
+        pkt.msg_id = rq.msg_id;
+        pkt.post_vtime = rq.post_vtime;
         trace::instant("ucx", "eager_send", clock_.now(), "bytes",
                        static_cast<std::uint64_t>(total), "tag",
                        static_cast<std::uint64_t>(rq.tag));
@@ -483,7 +598,7 @@ void Worker::start_send_locked(Request& rq) {
     }
 
     // Rendezvous: announce with RTS, wait for CTS in progress().
-    rq.op_id = next_msg_id_++;
+    rq.op_id = next_op_id_++;
     rq.expected_total = total;
     ++stats_.rndv_sends;
     stats_.bytes_sent += static_cast<std::uint64_t>(total);
@@ -493,6 +608,8 @@ void Worker::start_send_locked(Request& rq) {
     pkt.dst = rq.peer;
     pkt.kind = kRts;
     pkt.header = encode_header(RtsHeader{rq.tag, rq.op_id, total});
+    pkt.msg_id = rq.msg_id;
+    pkt.post_vtime = rq.post_vtime;
     trace::instant("ucx", "rndv_rts", clock_.now(), "bytes",
                    static_cast<std::uint64_t>(total), "op", rq.op_id);
     send_packet_locked(std::move(pkt), clock_.now() + params_.rndv_ctrl_us,
@@ -520,6 +637,8 @@ RequestId Worker::tag_recv(Tag tag, Tag mask, BufferDesc desc) {
         if (!tag_matches(tag, mask, it->tag)) continue;
         Unexpected u = std::move(*it);
         unexpected_.erase(it);
+        rq.msg_id = u.msg_id;
+        rq.post_vtime = u.post_vtime;
         if (u.kind == Unexpected::Kind::eager) {
             match_eager_locked(rq, u.tag, std::move(u.payload), u.arrival);
         } else {
@@ -533,6 +652,8 @@ RequestId Worker::tag_recv(Tag tag, Tag mask, BufferDesc desc) {
 
 void Worker::match_eager_locked(Request& rq, Tag sender_tag, ByteVec&& payload,
                                 SimTime arrival) {
+    // Unpack (sink->write) and completion happen on the sender's message.
+    const trace::MsgScope msg_scope(rq.msg_id);
     clock_.observe(arrival);
     rq.sink.emplace(rq.desc);
     if (!ok(rq.sink->init_error())) {
@@ -561,6 +682,7 @@ void Worker::match_eager_locked(Request& rq, Tag sender_tag, ByteVec&& payload,
 
 void Worker::match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_len,
                               std::uint64_t sender_op, SimTime arrival) {
+    const trace::MsgScope msg_scope(rq.msg_id);
     clock_.observe(arrival);
     rq.sink.emplace(rq.desc);
     rq.peer = src;
@@ -573,6 +695,7 @@ void Worker::match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_
         pkt.dst = src;
         pkt.kind = kCts;
         pkt.header = encode_header(CtsHeader{sender_op, 0, CtsMode::abort, 0});
+        pkt.msg_id = rq.msg_id;
         send_packet_locked(std::move(pkt), clock_.now(), 0, 1, 0,
                            /*control=*/true, nullptr);
         return;
@@ -584,12 +707,13 @@ void Worker::match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_
         pkt.dst = src;
         pkt.kind = kCts;
         pkt.header = encode_header(CtsHeader{sender_op, 0, CtsMode::abort, 0});
+        pkt.msg_id = rq.msg_id;
         send_packet_locked(std::move(pkt), clock_.now(), 0, 1, 0,
                            /*control=*/true, nullptr);
         return;
     }
 
-    rq.op_id = next_msg_id_++;
+    rq.op_id = next_op_id_++;
     rq.expected_total = total_len;
     rndv_recvs_.emplace(rq.op_id, rq.id);
     send_cts_locked(rq, src, sender_op);
@@ -600,6 +724,8 @@ void Worker::send_cts_locked(Request& rq, int src, std::uint64_t sender_op) {
     pkt.src = ep_;
     pkt.dst = src;
     pkt.kind = kCts;
+    pkt.msg_id = rq.msg_id;
+    pkt.post_vtime = rq.post_vtime;
     if (rq.sink->exposes_memory()) {
         const auto& regions = rq.sink->regions();
         CtsHeader h{sender_op, rq.op_id, CtsMode::rdma,
@@ -675,6 +801,8 @@ Worker::Request* Worker::find_posted_locked(Tag tag) {
 void Worker::handle_eager_locked(netsim::Packet&& pkt) {
     const auto h = decode_header<EagerHeader>(pkt.header);
     if (Request* rq = find_posted_locked(h.tag)) {
+        rq->msg_id = pkt.msg_id;
+        rq->post_vtime = pkt.post_vtime;
         match_eager_locked(*rq, h.tag, std::move(pkt.payload), pkt.arrival);
         return;
     }
@@ -685,6 +813,8 @@ void Worker::handle_eager_locked(netsim::Packet&& pkt) {
     u.total = h.total;
     u.payload = std::move(pkt.payload);
     u.arrival = pkt.arrival;
+    u.msg_id = pkt.msg_id;
+    u.post_vtime = pkt.post_vtime;
     ++stats_.unexpected_msgs;
     unexpected_.push_back(std::move(u));
 }
@@ -692,6 +822,8 @@ void Worker::handle_eager_locked(netsim::Packet&& pkt) {
 void Worker::handle_rts_locked(netsim::Packet&& pkt) {
     const auto h = decode_header<RtsHeader>(pkt.header);
     if (Request* rq = find_posted_locked(h.tag)) {
+        rq->msg_id = pkt.msg_id;
+        rq->post_vtime = pkt.post_vtime;
         match_rts_locked(*rq, h.tag, pkt.src, h.total, h.sender_op, pkt.arrival);
         return;
     }
@@ -702,6 +834,8 @@ void Worker::handle_rts_locked(netsim::Packet&& pkt) {
     u.total = h.total;
     u.sender_op = h.sender_op;
     u.arrival = pkt.arrival;
+    u.msg_id = pkt.msg_id;
+    u.post_vtime = pkt.post_vtime;
     ++stats_.unexpected_msgs;
     unexpected_.push_back(std::move(u));
 }
@@ -716,6 +850,9 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
     }
     Request& rq = *requests_.at(it->second);
     rndv_sends_.erase(it);
+    // Data-phase events (pack reads, rdma/frag sends, FIN) belong to the
+    // send request's message.
+    const trace::MsgScope msg_scope(rq.msg_id);
 
     if (h.mode == CtsMode::abort) {
         complete_locked(rq, Status::err_truncate, 0, 0);
@@ -745,8 +882,10 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
             st = rq.source->read(offset, MutBytes(bounce.data(), static_cast<std::size_t>(want)),
                                  &used, pack_cost);
             clock_.advance(pack_cost);
+            record_pack_throughput(used, pack_cost);
             if (ok(st) && used == 0) st = Status::err_pack;
             if (!ok(st)) break;
+            frag_bytes_hist().record(static_cast<std::uint64_t>(used));
             st = scatter_into_regions(recv_regions, offset,
                                       ConstBytes(bounce.data(), static_cast<std::size_t>(used)));
             if (!ok(st)) break;
@@ -766,6 +905,8 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         fin.kind = kFin;
         fin.header = encode_header(
             FinHeader{h.recv_op, data_done, offset, static_cast<std::int32_t>(st)});
+        fin.msg_id = rq.msg_id;
+        fin.post_vtime = rq.post_vtime;
         send_packet_locked(std::move(fin), data_done, 0, 1, 0, /*control=*/true,
                            &rq);
         ++stats_.rndv_rdma;
@@ -794,8 +935,10 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         SimTime pack_cost = 0.0;
         st = rq.source->read(offset, frag, &used, pack_cost);
         clock_.advance(pack_cost);
+        record_pack_throughput(used, pack_cost);
         if (ok(st) && used == 0) st = Status::err_pack;
         if (!ok(st)) break;
+        frag_bytes_hist().record(static_cast<std::uint64_t>(used));
         frag.resize(static_cast<std::size_t>(used));
         const bool last = offset + used >= total;
         netsim::Packet fp;
@@ -804,6 +947,8 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         fp.kind = kFrag;
         fp.header = encode_header(FragHeader{h.recv_op, offset, total, last ? 1u : 0u});
         fp.payload = std::move(frag);
+        fp.msg_id = rq.msg_id;
+        fp.post_vtime = rq.post_vtime;
         trace::instant("ucx", "frag_send", clock_.now(), "offset",
                        static_cast<std::uint64_t>(offset), "bytes",
                        static_cast<std::uint64_t>(used));
@@ -822,6 +967,8 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         fp.kind = kFin;
         fp.header = encode_header(
             FinHeader{h.recv_op, clock_.now(), offset, static_cast<std::int32_t>(st)});
+        fp.msg_id = rq.msg_id;
+        fp.post_vtime = rq.post_vtime;
         send_packet_locked(std::move(fp), clock_.now(), 0, 1, 0, /*control=*/true,
                            nullptr);
     }
@@ -844,6 +991,7 @@ void Worker::handle_fin_locked(netsim::Packet&& pkt) {
     if (it == rndv_recvs_.end()) return;
     Request& rq = *requests_.at(it->second);
     rndv_recvs_.erase(it);
+    const trace::MsgScope msg_scope(rq.msg_id);
     clock_.observe(h.data_vtime);
     trace::instant("ucx", "rndv_fin", clock_.now(), "bytes",
                    static_cast<std::uint64_t>(h.total), "op", h.recv_op);
@@ -856,6 +1004,9 @@ void Worker::handle_frag_locked(netsim::Packet&& pkt) {
     const auto it = rndv_recvs_.find(h.recv_op);
     if (it == rndv_recvs_.end()) return;
     Request& rq = *requests_.at(it->second);
+    // Sink writes (generic unpack callbacks) and completion run under the
+    // message that produced the fragment.
+    const trace::MsgScope msg_scope(rq.msg_id);
     trace::instant("ucx", "frag_recv", clock_.now(), "offset",
                    static_cast<std::uint64_t>(h.offset), "bytes",
                    static_cast<std::uint64_t>(pkt.payload.size()));
@@ -952,7 +1103,7 @@ std::optional<MessageHandle> Worker::mprobe(Tag tag, Tag mask) {
     for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
         if (!tag_matches(tag, mask, it->tag)) continue;
         MessageHandle handle;
-        handle.id = next_msg_id_++;
+        handle.id = next_op_id_++;
         handle.info = ProbeInfo{it->tag, it->total, it->src};
         mprobed_.emplace(handle.id, std::move(*it));
         unexpected_.erase(it);
@@ -975,6 +1126,8 @@ RequestId Worker::imrecv(const MessageHandle& handle, BufferDesc desc) {
     rq.id = id;
     rq.tag = u.tag;
     rq.desc = std::move(desc);
+    rq.msg_id = u.msg_id;
+    rq.post_vtime = u.post_vtime;
     requests_.emplace(id, std::move(rq_owner));
     if (u.kind == Unexpected::Kind::eager) {
         match_eager_locked(rq, u.tag, std::move(u.payload), u.arrival);
@@ -994,6 +1147,55 @@ bool Worker::idle() {
     return requests_.empty() && unexpected_.empty() && mprobed_.empty() &&
            rndv_sends_.empty() && rndv_recvs_.empty() && posted_recvs_.empty() &&
            pending_tx_.empty();
+}
+
+void Worker::dump_state_locked(std::FILE* out) const {
+    std::fprintf(out, "endpoint %d  vtime %.3f us  reliable %d\n", ep_,
+                 clock_.now(), reliable_ ? 1 : 0);
+    std::fprintf(out, "in-flight requests (%zu):\n", requests_.size());
+    for (const auto& [id, rq] : requests_) {
+        std::fprintf(out,
+                     "  req %llu %s msg=%llu tag=%llu peer=%d done=%d "
+                     "bytes=%lld/%lld unacked=%d retransmits=%llu "
+                     "deadline=%.3f\n",
+                     static_cast<unsigned long long>(id),
+                     rq->kind == Request::Kind::recv ? "recv" : "send",
+                     static_cast<unsigned long long>(rq->msg_id),
+                     static_cast<unsigned long long>(rq->tag), rq->peer,
+                     rq->done ? 1 : 0,
+                     static_cast<long long>(rq->bytes_received),
+                     static_cast<long long>(rq->expected_total), rq->unacked,
+                     static_cast<unsigned long long>(rq->retransmits),
+                     rq->op_deadline);
+    }
+    std::fprintf(out, "pending retransmit queue (%zu):\n", pending_tx_.size());
+    for (const auto& [seq, ptx] : pending_tx_) {
+        std::fprintf(out,
+                     "  seq %llu kind=%u msg=%llu retries=%d rto=%.3f "
+                     "next_retry=%.3f owner=%llu\n",
+                     static_cast<unsigned long long>(seq), ptx.pkt.kind,
+                     static_cast<unsigned long long>(ptx.pkt.msg_id),
+                     ptx.retries, ptx.rto, ptx.next_retry,
+                     static_cast<unsigned long long>(ptx.owner));
+    }
+    std::fprintf(out,
+                 "posted_recvs=%zu unexpected=%zu mprobed=%zu rndv_sends=%zu "
+                 "rndv_recvs=%zu\n",
+                 posted_recvs_.size(), unexpected_.size(), mprobed_.size(),
+                 rndv_sends_.size(), rndv_recvs_.size());
+    for (const auto& [src, seqs] : seen_) {
+        std::fprintf(out, "peer %d: %zu delivered link_seqs\n", src,
+                     seqs.size());
+    }
+    std::fprintf(out,
+                 "stats: retransmits=%llu dups=%llu crc=%llu acks=%llu/%llu "
+                 "timeouts=%llu\n",
+                 static_cast<unsigned long long>(stats_.retransmits),
+                 static_cast<unsigned long long>(stats_.duplicates_suppressed),
+                 static_cast<unsigned long long>(stats_.corruption_detected),
+                 static_cast<unsigned long long>(stats_.acks_sent),
+                 static_cast<unsigned long long>(stats_.acks_received),
+                 static_cast<unsigned long long>(stats_.timeouts));
 }
 
 } // namespace mpicd::ucx

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,11 @@ struct Completion {
     Count received_len = 0; // bytes that arrived (recv side)
     Tag sender_tag = 0;
     SimTime vtime = 0.0; // virtual completion time
+    // Message id of the operation (trace::next_msg_id(); on the receive
+    // side, adopted from the sender's packets). Lets the caller run
+    // deferred work — e.g. the p2p layer's custom unpack — under the same
+    // message scope the wire events were attributed to.
+    std::uint64_t msg_id = 0;
 };
 
 struct ProbeInfo {
@@ -89,6 +95,9 @@ struct MessageHandle {
 
 class Worker {
 public:
+    // Registers a flight-recorder dump source for this endpoint (see
+    // base/flight_recorder.hpp); the destructor unregisters it and folds
+    // the protocol counters into the metrics registry.
     Worker(netsim::Fabric& fabric, int endpoint);
     ~Worker();
     Worker(const Worker&) = delete;
@@ -186,6 +195,11 @@ private:
     Request* find_posted_locked(Tag tag);
     void send_cts_locked(Request& rq, int src, std::uint64_t sender_op);
 
+    // Flight-recorder dump of this worker's protocol state (in-flight
+    // request table, retransmit queue, per-peer dedup/rendezvous state).
+    // Caller must hold (or be unable to ever share) mutex_.
+    void dump_state_locked(std::FILE* out) const;
+
     netsim::Fabric& fabric_;
     const netsim::WireParams& params_;
     int ep_;
@@ -193,7 +207,9 @@ private:
     std::mutex mutex_;
     netsim::VirtualClock clock_;
     RequestId next_id_ = 1;
-    std::uint64_t next_msg_id_ = 1;
+    // Rendezvous protocol op ids and mprobe handles (worker-local; the
+    // process-unique *message* ids come from trace::next_msg_id()).
+    std::uint64_t next_op_id_ = 1;
 
     std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
     // Posted-but-unmatched receives, in post order.
@@ -231,6 +247,7 @@ private:
     std::unordered_map<int, std::unordered_set<std::uint64_t>> seen_;
 
     WorkerStats stats_;
+    std::uint64_t flight_token_ = 0; // flight-recorder source registration
 };
 
 } // namespace mpicd::ucx

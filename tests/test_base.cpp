@@ -1,12 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "base/bytes.hpp"
 #include "base/config.hpp"
+#include "base/flight_recorder.hpp"
+#include "base/hist.hpp"
+#include "base/metrics.hpp"
 #include "base/stats.hpp"
 #include "base/status.hpp"
 #include "base/time.hpp"
+#include "base/trace.hpp"
 #include "core/engine.hpp"
 #include "dt/par_pack.hpp"
 
@@ -225,6 +233,213 @@ TEST(Time, ScopedMeasureAccumulates) {
         const ScopedMeasure m(acc);
     }
     EXPECT_GE(acc, first);
+}
+
+// --- Log2 histograms (base/hist.hpp) --------------------------------------
+
+TEST(Hist, BucketMapping) {
+    EXPECT_EQ(hist_bucket_index(0), 0);
+    EXPECT_EQ(hist_bucket_index(1), 1);
+    EXPECT_EQ(hist_bucket_index(2), 2);
+    EXPECT_EQ(hist_bucket_index(3), 2);
+    EXPECT_EQ(hist_bucket_index(4), 3);
+    EXPECT_EQ(hist_bucket_index(1023), 10);
+    EXPECT_EQ(hist_bucket_index(1024), 11);
+    // Bucket i >= 1 covers [2^(i-1), 2^i); every value lands in the
+    // half-open range of its own bucket.
+    for (const std::uint64_t v : {1ull, 2ull, 3ull, 7ull, 8ull, 1000ull,
+                                  (1ull << 40) + 17}) {
+        const int i = hist_bucket_index(v);
+        EXPECT_GE(v, hist_bucket_lo(i)) << v;
+        EXPECT_LT(v, hist_bucket_hi(i)) << v;
+    }
+    EXPECT_EQ(hist_bucket_lo(0), 0u);
+    EXPECT_EQ(hist_bucket_hi(0), 1u);
+}
+
+TEST(Hist, RecordAndSnapshot) {
+    Histogram h;
+    for (const std::uint64_t v : {0ull, 1ull, 5ull, 8ull, 1000ull}) h.record(v);
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_EQ(s.sum, 1014u);
+    EXPECT_EQ(s.max, 1000u);
+    EXPECT_DOUBLE_EQ(s.mean(), 1014.0 / 5.0);
+    EXPECT_EQ(s.buckets[0], 1u);  // 0
+    EXPECT_EQ(s.buckets[1], 1u);  // 1
+    EXPECT_EQ(s.buckets[3], 1u);  // 5 in [4, 8)
+    EXPECT_EQ(s.buckets[4], 1u);  // 8 in [8, 16)
+    EXPECT_EQ(s.buckets[10], 1u); // 1000 in [512, 1024)
+}
+
+TEST(Hist, EmptySnapshotIsZero) {
+    Histogram h;
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+}
+
+TEST(Hist, PercentileInterpolatesWithinBucket) {
+    // One observation per power-of-two bucket: ranks are unambiguous.
+    Histogram h;
+    h.record(1);
+    h.record(2);
+    h.record(4);
+    h.record(8);
+    const auto s = h.snapshot();
+    // rank 1 -> bucket [1, 2), full-bucket interpolation reaches its
+    // upper bound.
+    EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 2.0); // rank clamps to 1
+    // rank 2 -> bucket [2, 4).
+    EXPECT_DOUBLE_EQ(s.percentile(50), 4.0);
+    // The top never exceeds the observed max.
+    EXPECT_DOUBLE_EQ(s.percentile(100), 8.0);
+}
+
+TEST(Hist, PercentileClampsToObservedMax) {
+    Histogram h;
+    h.record(1000); // bucket [512, 1024): interpolation would reach 1024
+    const auto s = h.snapshot();
+    EXPECT_DOUBLE_EQ(s.percentile(50), 1000.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 1000.0);
+}
+
+TEST(Hist, ResetClears) {
+    Histogram h;
+    h.record(7);
+    h.reset();
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    EXPECT_EQ(s.max, 0u);
+}
+
+TEST(Hist, ConcurrentRecordsAreExact) {
+    Histogram h;
+    constexpr int kThreads = 4;
+    constexpr int kRecords = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kRecords; ++i) h.record(3);
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+    EXPECT_EQ(s.sum, static_cast<std::uint64_t>(kThreads) * kRecords * 3);
+    EXPECT_EQ(s.max, 3u);
+    EXPECT_EQ(s.buckets[2], s.count); // 3 in [2, 4)
+}
+
+TEST(Hist, RegistryEmitsPercentilesInJson) {
+    metrics().reset();
+    auto& h = metrics().histogram("histgrp", "lat_ns");
+    for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+    bool found = false;
+    for (const auto& s : metrics().hist_snapshot()) {
+        if (s.group == "histgrp" && s.name == "lat_ns") {
+            found = true;
+            EXPECT_EQ(s.snap.count, 100u);
+        }
+    }
+    EXPECT_TRUE(found);
+    const std::string json = metrics().to_json();
+    EXPECT_NE(json.find("\"histgrp\""), std::string::npos);
+    EXPECT_NE(json.find("\"lat_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    metrics().reset();
+    EXPECT_EQ(metrics().histogram("histgrp", "lat_ns").snapshot().count, 0u);
+}
+
+// --- Flight recorder (base/flight_recorder.hpp) ---------------------------
+
+namespace {
+std::string read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return {};
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+} // namespace
+
+TEST(Flight, TriggerDumpsSourcesAndHeader) {
+    const std::string path = std::string("mpicd_flight_test.txt");
+    std::remove(path.c_str());
+    flight::set_enabled(true, path);
+    const std::uint64_t tok =
+        flight::register_source("unit.source", [](std::FILE* out) {
+            std::fprintf(out, "SOURCE_STATE_LINE\n");
+        });
+    trace::instant("flight_test", "pre_dump_event");
+    flight::trigger("unit_test_reason", 42, 1.5);
+    flight::unregister_source(tok);
+    flight::set_enabled(false);
+    trace::set_enabled(false);
+
+    const std::string dump = read_file(path);
+    EXPECT_NE(dump.find("mpicd flight recorder"), std::string::npos);
+    EXPECT_NE(dump.find("reason: unit_test_reason"), std::string::npos);
+    EXPECT_NE(dump.find("msg: 42"), std::string::npos);
+    EXPECT_NE(dump.find("vt_us: 1.500"), std::string::npos);
+    EXPECT_NE(dump.find("source: unit.source"), std::string::npos);
+    EXPECT_NE(dump.find("SOURCE_STATE_LINE"), std::string::npos);
+    // Arming the recorder turned tracing on, so the ring section holds
+    // the event recorded just before the trigger.
+    EXPECT_NE(dump.find("pre_dump_event"), std::string::npos);
+    EXPECT_NE(dump.find("=== end dump ==="), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Flight, SelfDumpSubstitutesForTriggeringSource) {
+    const std::string path = std::string("mpicd_flight_self.txt");
+    std::remove(path.c_str());
+    flight::set_enabled(true, path);
+    const std::uint64_t tok =
+        flight::register_source("self.source", [](std::FILE* out) {
+            std::fprintf(out, "WRONG_REGISTERED_CALLBACK\n");
+        });
+    flight::trigger("self_test", 0, -1.0, tok, [](std::FILE* out) {
+        std::fprintf(out, "SELF_DUMP_LINE\n");
+    });
+    flight::unregister_source(tok);
+    flight::set_enabled(false);
+    trace::set_enabled(false);
+
+    const std::string dump = read_file(path);
+    EXPECT_NE(dump.find("SELF_DUMP_LINE"), std::string::npos);
+    EXPECT_EQ(dump.find("WRONG_REGISTERED_CALLBACK"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Flight, BudgetBoundsDumpsPerProcess) {
+    const std::string path = std::string("mpicd_flight_budget.txt");
+    std::remove(path.c_str());
+    flight::set_enabled(true, path); // resets the dump budget
+    for (int i = 0; i < 20; ++i) flight::trigger("budget_test");
+    const std::uint64_t dumps = flight::dump_count();
+    flight::set_enabled(false);
+    trace::set_enabled(false);
+    EXPECT_GE(dumps, 1u);
+    EXPECT_LE(dumps, 4u); // MPICD_FLIGHT_MAX default
+    std::remove(path.c_str());
+}
+
+TEST(Flight, DisarmedTriggerIsANoOp) {
+    flight::set_enabled(false);
+    const std::uint64_t before = flight::dump_count();
+    flight::trigger("disarmed");
+    EXPECT_EQ(flight::dump_count(), before);
 }
 
 } // namespace

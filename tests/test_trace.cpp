@@ -268,11 +268,16 @@ struct LossyResult {
     SimTime recv_vtime = 0.0;
     ucx::WorkerStats sender;
     ucx::WorkerStats receiver;
+    // Fragment schedule as the wire histogram saw it (recorded whether or
+    // not tracing is enabled, so it can compare an on-run to an off-run).
+    std::uint64_t frag_count = 0;
+    std::uint64_t frag_bytes = 0;
 };
 
 // One pipelined rendezvous transfer with a scheduled fragment drop, so the
 // run exercises RTS/CTS, the fragment stream, a retransmit, and acks.
 LossyResult run_lossy_exchange() {
+    metrics().reset();
     netsim::WireParams p;
     p.eager_threshold = 256;
     p.rndv_frag_size = 1024;
@@ -305,6 +310,12 @@ LossyResult run_lossy_exchange() {
     out.receiver = uni.worker(1).stats();
     out.payload.resize(dst.size() * sizeof(double));
     std::memcpy(out.payload.data(), dst.data(), out.payload.size());
+    for (const auto& h : metrics().hist_snapshot()) {
+        if (h.group == "wire" && h.name == "frag_bytes") {
+            out.frag_count = h.snap.count;
+            out.frag_bytes = h.snap.sum;
+        }
+    }
     return out;
 }
 
@@ -338,12 +349,162 @@ TEST(Trace, TracingIsAPureObserver) {
     EXPECT_EQ(on.receiver.recv_completions, off.receiver.recv_completions);
     EXPECT_EQ(on.receiver.timeouts, off.receiver.timeouts);
 
+    // The fragment schedule is byte-identical: the wire histogram records
+    // with tracing on and off alike, and the span instrumentation must not
+    // change how the transfer is cut into fragments.
+    EXPECT_EQ(on.frag_count, off.frag_count);
+    EXPECT_EQ(on.frag_bytes, off.frag_bytes);
+
     // And the traced run captured the interesting protocol events.
     EXPECT_FALSE(events_named("rndv_rts").empty());
     EXPECT_FALSE(events_named("rndv_cts").empty());
     EXPECT_FALSE(events_named("frag_send").empty());
     EXPECT_FALSE(events_named("retransmit").empty());
     EXPECT_FALSE(events_named("fault_drop").empty());
+
+    // Span path: every event of the rendezvous transfer — wire, protocol,
+    // retransmit, completion — carries one process-unique message id.
+    std::uint64_t msg = 0;
+    for (const auto& ev : events_named("send_post")) msg = ev.msg;
+    ASSERT_NE(msg, 0u);
+    for (const char* name : {"rndv_rts", "rndv_cts", "frag_send",
+                             "retransmit", "recv_complete"}) {
+        for (const auto& ev : events_named(name)) {
+            EXPECT_EQ(ev.msg, msg) << name;
+        }
+    }
+}
+
+// --- Message-causal span tracing ------------------------------------------
+
+TEST(Trace, MsgScopeNestsAndStampsEvents) {
+    trace::set_enabled(true);
+    trace::reset();
+    const std::uint64_t id1 = trace::next_msg_id();
+    const std::uint64_t id2 = trace::next_msg_id();
+    EXPECT_NE(id1, 0u);
+    EXPECT_LT(id1, id2); // process-unique, monotone
+    EXPECT_EQ(trace::current_msg(), 0u);
+    {
+        const trace::MsgScope outer(id1);
+        EXPECT_EQ(trace::current_msg(), id1);
+        trace::instant("test", "msg_outer");
+        {
+            const trace::MsgScope inner(id2);
+            EXPECT_EQ(trace::current_msg(), id2);
+            trace::instant("test", "msg_inner");
+        }
+        EXPECT_EQ(trace::current_msg(), id1); // restored on scope exit
+    }
+    EXPECT_EQ(trace::current_msg(), 0u);
+    trace::instant("test", "msg_none");
+    trace::set_enabled(false);
+
+    ASSERT_EQ(events_named("msg_outer").size(), 1u);
+    EXPECT_EQ(events_named("msg_outer")[0].msg, id1);
+    ASSERT_EQ(events_named("msg_inner").size(), 1u);
+    EXPECT_EQ(events_named("msg_inner")[0].msg, id2);
+    ASSERT_EQ(events_named("msg_none").size(), 1u);
+    EXPECT_EQ(events_named("msg_none")[0].msg, 0u);
+}
+
+TEST(Trace, MsgScopeIsThreadLocal) {
+    const std::uint64_t id = trace::next_msg_id();
+    const trace::MsgScope scope(id);
+    std::uint64_t other_thread_msg = ~std::uint64_t{0};
+    std::thread t([&] { other_thread_msg = trace::current_msg(); });
+    t.join();
+    EXPECT_EQ(other_thread_msg, 0u);
+    EXPECT_EQ(trace::current_msg(), id);
+}
+
+// Two concurrent messages over a lossy link — a clean eager send and a
+// pipelined rendezvous whose 2nd fragment is dropped. From the trace alone
+// the spans of both messages must reconstruct, and the retransmit penalty
+// must be attributed to the lossy message's id, never the clean one's.
+TEST(Trace, SpanReconstructionOverLossyFabric) {
+    trace::set_enabled(true);
+    trace::reset();
+    constexpr int kEagerTag = 7;
+    constexpr int kRndvTag = 9;
+    {
+        netsim::WireParams p;
+        p.eager_threshold = 256;
+        p.rndv_frag_size = 1024;
+        p.rto_us = 20.0;
+        p.max_retries = 6;
+        p2p::Universe uni(2, p, netsim::FaultConfig{});
+        netsim::ScheduledFault f;
+        f.src = 0;
+        f.dst = 1;
+        f.action = netsim::FaultAction::drop;
+        f.kind_filter = ucx::wire::kFrag;
+        f.nth = 2;
+        uni.fabric().faults().schedule(f);
+
+        // The big message uses a strided datatype so it takes the
+        // *pipelined* rendezvous (kFrag packets the scheduled drop can
+        // hit); a contiguous buffer would go zero-copy RDMA instead.
+        auto col = dt::Datatype::vector(1024, 1, 2, dt::type_double());
+        ASSERT_EQ(col->commit(), Status::success);
+        const ByteVec small = test::pattern_bytes(64, 3);
+        ByteVec small_in(64);
+        std::vector<double> big(2048), big_in(2048, 0.0);
+        for (std::size_t i = 0; i < big.size(); ++i)
+            big[i] = static_cast<double>(i);
+        auto re = uni.comm(1).irecv_bytes(small_in.data(), 64, 0, kEagerTag);
+        auto rb = uni.comm(1).irecv(big_in.data(), 1, col, 0, kRndvTag);
+        auto se = uni.comm(0).isend_bytes(small.data(), 64, 1, kEagerTag);
+        auto sb = uni.comm(0).isend(big.data(), 1, col, 1, kRndvTag);
+        EXPECT_EQ(se.wait().status, Status::success);
+        EXPECT_EQ(sb.wait().status, Status::success);
+        EXPECT_EQ(re.wait().status, Status::success);
+        EXPECT_EQ(rb.wait().status, Status::success);
+        EXPECT_EQ(small_in, small);
+    }
+    trace::set_enabled(false);
+
+    // Identify each message's id from its send_post (arg1 = wire tag;
+    // the low 32 bits are the user tag).
+    std::uint64_t eager_msg = 0, rndv_msg = 0;
+    SimTime eager_post = -1.0, rndv_post = -1.0;
+    for (const auto& ev : events_named("send_post")) {
+        const int user_tag = static_cast<int>(ev.a1 & 0xFFFFFFFFull);
+        if (user_tag == kEagerTag) {
+            eager_msg = ev.msg;
+            eager_post = ev.vtime_us;
+        } else if (user_tag == kRndvTag) {
+            rndv_msg = ev.msg;
+            rndv_post = ev.vtime_us;
+        }
+    }
+    ASSERT_NE(eager_msg, 0u);
+    ASSERT_NE(rndv_msg, 0u);
+    EXPECT_NE(eager_msg, rndv_msg);
+
+    // Both spans are complete: posting and completion edges exist and
+    // yield a positive end-to-end latency per message.
+    SimTime eager_done = -1.0, rndv_done = -1.0;
+    for (const auto& ev : events_named("recv_complete")) {
+        if (ev.msg == eager_msg) eager_done = ev.vtime_us;
+        if (ev.msg == rndv_msg) rndv_done = ev.vtime_us;
+    }
+    ASSERT_GE(eager_done, 0.0);
+    ASSERT_GE(rndv_done, 0.0);
+    EXPECT_GT(eager_done, eager_post);
+    EXPECT_GT(rndv_done, rndv_post);
+
+    // The retransmit penalty lands on the lossy rendezvous message — the
+    // drop, the retransmit, and the fragment stream all carry its id; the
+    // clean eager message shows none of them.
+    const auto retransmits = events_named("retransmit");
+    ASSERT_FALSE(retransmits.empty());
+    for (const auto& ev : retransmits) EXPECT_EQ(ev.msg, rndv_msg);
+    const auto drops = events_named("fault_drop");
+    ASSERT_FALSE(drops.empty());
+    for (const auto& ev : drops) EXPECT_EQ(ev.msg, rndv_msg);
+    for (const auto& ev : events_named("frag_send"))
+        EXPECT_EQ(ev.msg, rndv_msg);
 }
 
 } // namespace

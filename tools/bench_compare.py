@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare BENCH_<name>.json files against the
+committed baselines in bench/baselines/.
+
+The bench tables mix two time sources: link serialization and latency are
+deterministic virtual time, but host pack/unpack work is *measured* wall
+time charged into the virtual clock, so individual cells of a smoke run
+are noisy (2x swings on a loaded CI box are normal). The gate therefore
+compares the per-column *geometric mean* of the new/baseline ratio —
+systematic regressions move every cell of a column, noise does not —
+and fails only when a column drifts by more than the threshold in either
+direction (a large "improvement" in virtual time is a modeling change
+that deserves the same scrutiny as a slowdown).
+
+Cells where either side is ~0 are skipped (some tables carry a column
+that is legitimately zero at smoke sizes). Structural drift — renamed
+columns, missing rows, a smoke/full mismatch — always fails.
+
+Usage:
+    bench_compare.py --baseline-dir bench/baselines build/bench_smoke_json/BENCH_*.json
+    bench_compare.py --update --baseline-dir bench/baselines ...   # reseed
+
+Wired into ctest as `bench_compare` (label bench-smoke): it runs after
+the bench_smoke_* tests via a ctest fixture and consumes their output.
+Baselines that do not exist are reported and skipped (exit 0) unless
+--require-baseline is given, so adding a new bench does not break the
+gate before its baseline is committed.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import shutil
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def column_ratios(new, base):
+    """Geometric-mean new/base ratio per column; None when no valid cell."""
+    cols = new["columns"]
+    base_rows = {r["x"]: r["values"] for r in base["rows"]}
+    sums = [0.0] * len(cols)
+    counts = [0] * len(cols)
+    for row in new["rows"]:
+        bvals = base_rows.get(row["x"])
+        if bvals is None:
+            continue
+        for i, (nv, bv) in enumerate(zip(row["values"], bvals)):
+            if nv <= 1e-12 or bv <= 1e-12:
+                continue
+            sums[i] += math.log(nv / bv)
+            counts[i] += 1
+    return [
+        (math.exp(s / c) if c else None) for s, c in zip(sums, counts)
+    ]
+
+
+def compare_one(new_path, base_path, threshold):
+    """Return a list of failure strings (empty = pass)."""
+    new = load(new_path)
+    base = load(base_path)
+    errors = []
+    rows = new.get("rows") or []
+    if not rows or "x" not in rows[0]:
+        # Non-perf table (e.g. table1_characteristics): the content is
+        # static, so any drift is a real change — compare exactly.
+        if rows != base.get("rows"):
+            errors.append("static table content changed vs baseline")
+        else:
+            print("  static table unchanged  [ok]")
+        return errors
+    if new.get("columns") != base.get("columns"):
+        errors.append("columns changed: %s -> %s"
+                      % (base.get("columns"), new.get("columns")))
+        return errors
+    if bool(new.get("smoke")) != bool(base.get("smoke")):
+        errors.append("smoke flag mismatch (baseline %s, new %s): compare "
+                      "like with like" % (base.get("smoke"), new.get("smoke")))
+        return errors
+    new_x = [r["x"] for r in new["rows"]]
+    base_x = [r["x"] for r in base["rows"]]
+    missing = [x for x in base_x if x not in new_x]
+    if missing:
+        errors.append("rows missing vs baseline: %s" % missing)
+    log_thresh = math.log(threshold)
+    for col, ratio in zip(new["columns"], column_ratios(new, base)):
+        if ratio is None:
+            continue
+        drift = abs(math.log(ratio))
+        marker = "FAIL" if drift > log_thresh else "ok"
+        print("  %-24s geomean ratio %6.3f  [%s]" % (col, ratio, marker))
+        if drift > log_thresh:
+            errors.append("column %r drifted %.3fx vs baseline "
+                          "(threshold %.2fx)" % (col, ratio, threshold))
+    return errors
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("jsons", nargs="+",
+                    help="BENCH_<name>.json files (globs allowed)")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max allowed per-column geomean drift factor "
+                         "(default 2.0)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy the given files into the baseline dir "
+                         "instead of comparing")
+    ap.add_argument("--require-baseline", action="store_true",
+                    help="fail when a bench has no committed baseline")
+    args = ap.parse_args(argv)
+
+    paths = []
+    for pattern in args.jsons:
+        hits = glob.glob(pattern)
+        paths.extend(hits if hits else [pattern])
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for p in paths:
+            dst = os.path.join(args.baseline_dir, os.path.basename(p))
+            shutil.copyfile(p, dst)
+            print("bench_compare: baseline updated: %s" % dst)
+        return 0
+
+    failed = []
+    skipped = 0
+    for p in sorted(paths):
+        base_path = os.path.join(args.baseline_dir, os.path.basename(p))
+        name = os.path.basename(p)
+        if not os.path.exists(base_path):
+            print("%s: no baseline, skipped" % name)
+            skipped += 1
+            if args.require_baseline:
+                failed.append("%s: missing baseline %s" % (name, base_path))
+            continue
+        print("%s:" % name)
+        errors = compare_one(p, base_path, args.threshold)
+        for e in errors:
+            failed.append("%s: %s" % (name, e))
+
+    if failed:
+        print("\nbench_compare: FAILED")
+        for f in failed:
+            print("  " + f)
+        return 1
+    print("\nbench_compare: OK (%d compared, %d without baseline)"
+          % (len(paths) - skipped, skipped))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

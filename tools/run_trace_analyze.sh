@@ -1,0 +1,50 @@
+#!/bin/sh
+# End-to-end validation of the span-analysis pipeline:
+#
+#   run_trace_analyze.sh <trace_demo-binary> [out-dir]
+#
+# Runs the trace demo (lossy multi-fragment rendezvous + eager + custom
+# serialization) with tracing on, then feeds the Chrome trace file to
+# tools/trace_analyze.py --check, which requires at least one complete
+# per-message span whose prep/wire/deliver phases sum exactly to its
+# end-to-end latency and whose critical path is monotone.
+# Wired into ctest under the `analyze` label: run with `ctest -L analyze`.
+set -eu
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <trace_demo-binary> [out-dir]" >&2
+    exit 2
+fi
+
+demo=$1
+dir=${2:-$(dirname "$demo")/trace_analyze_out}
+tools_dir=$(dirname "$0")
+mkdir -p "$dir"
+out="$dir/trace_analyze.json"
+rm -f "$out"
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "run_trace_analyze: python3 not found, skipping" >&2
+    exit 77 # ctest SKIP_RETURN_CODE
+fi
+
+MPICD_TRACE=1 MPICD_TRACE_FILE="$out" "$demo" > "$dir/trace_demo.log" 2>&1
+
+if [ ! -s "$out" ]; then
+    echo "run_trace_analyze: $demo did not write $out" >&2
+    exit 1
+fi
+
+python3 "$tools_dir/trace_analyze.py" --check "$out"
+
+# The machine-readable report must also parse and carry the aggregate.
+python3 "$tools_dir/trace_analyze.py" --json "$out" > "$dir/report.json"
+python3 - "$dir/report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+agg = doc["aggregate"]
+assert agg["complete_spans"] >= 1, "no complete spans in --json report"
+assert agg["latency_us"]["p99"] > 0, "degenerate latency percentiles"
+EOF
+
+echo "run_trace_analyze: OK $out"

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Reconstruct per-message spans from an mpicd Chrome trace-event file.
+
+Every event the stack records while a message scope is open carries the
+process-unique message id in ``args.msg`` (see docs/OBSERVABILITY.md).
+This tool groups the events of one trace file by that id and rebuilds,
+for each message that completed on the receive side, the span
+
+    send_post ──prep──> first wire arrival ──wire──> last data arrival
+              ──deliver──> recv_complete
+
+where the three phases are defined on *virtual* time (``args.vt_us``):
+
+  prep     time from posting the send to the first packet's arrival
+           edge: datatype lowering, custom pack, eager/RTS injection
+           plus one wire traversal
+  wire     time from the first to the last data-bearing arrival:
+           fragment pipelining, link serialization, and every
+           retransmit/duplicate penalty the fault layer induced
+  deliver  time from the last arrival to receive completion: unpack,
+           scatter into regions, completion bookkeeping
+
+The milestones are chosen so the phases sum *exactly* to the end-to-end
+latency (recv_complete - send_post); ``--check`` verifies that
+identity, which makes this script double as the validation step of the
+``analyze``-labelled ctest target.
+
+Usage:
+    trace_analyze.py trace.json              # human-readable report
+    trace_analyze.py --json trace.json      # machine-readable report
+    trace_analyze.py --check trace.json     # validate, exit 1 on failure
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Event names that mark a data-bearing wire arrival for a message.
+# net.tx instants are stamped with the packet's *arrival* virtual time.
+WIRE_ARRIVAL = {"tx", "tx_ctrl", "frag_recv", "rndv_fin"}
+# Control-plane kinds excluded from the "last data arrival" milestone:
+# an ACK arriving after the payload must not push the wire phase out.
+# Keep in sync with src/ucx/wire.hpp.
+KIND_EAGER = 1
+KIND_RTS = 2
+KIND_CTS = 3
+KIND_FIN = 4
+KIND_FRAG = 5
+KIND_ACK = 6
+DATA_KINDS = {KIND_EAGER, KIND_FRAG, KIND_FIN}
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+    out = []
+    for ev in events:
+        args = ev.get("args", {})
+        out.append(
+            {
+                "name": ev.get("name", ""),
+                "cat": ev.get("cat", ""),
+                "ts": float(ev.get("ts", 0.0)),
+                "dur": float(ev.get("dur", -1.0)) if "dur" in ev else -1.0,
+                "vt": float(args["vt_us"]) if "vt_us" in args else None,
+                "msg": int(args.get("msg", 0)),
+                "args": args,
+            }
+        )
+    return out
+
+
+def group_by_msg(events):
+    msgs = {}
+    for ev in events:
+        if ev["msg"] != 0:
+            msgs.setdefault(ev["msg"], []).append(ev)
+    return msgs
+
+
+def is_data_arrival(ev):
+    if ev["name"] not in WIRE_ARRIVAL or ev["vt"] is None:
+        return False
+    if ev["name"] in ("frag_recv", "rndv_fin"):
+        return True
+    kind = ev["args"].get("kind")
+    # tx/tx_ctrl: only count packets that carry (or complete) the data
+    # phase; ACK/CTS arrivals are control traffic.
+    return kind in DATA_KINDS
+
+
+def analyze_msg(msg_id, events):
+    """Return the reconstructed span for one message, or None when the
+    trace does not contain both endpoints (e.g. ring overwrote them)."""
+    post = [e for e in events if e["name"] == "send_post" and e["vt"] is not None]
+    done = [e for e in events if e["name"] == "recv_complete" and e["vt"] is not None]
+    arrivals = sorted((e for e in events if is_data_arrival(e)), key=lambda e: e["vt"])
+    span = {
+        "msg": msg_id,
+        "events": len(events),
+        "retransmits": sum(1 for e in events if e["name"] == "retransmit"),
+        "faults": sum(1 for e in events if e["name"].startswith("fault_")),
+        "complete": False,
+    }
+    if not post or not done or not arrivals:
+        return span
+    m0 = post[0]["vt"]
+    m3 = max(e["vt"] for e in done)
+    # Clamp arrival milestones into [m0, m3]: a retransmitted packet can
+    # be scheduled to arrive after the receiver already completed from an
+    # earlier copy, and the phases must still tile the e2e interval.
+    m1 = min(max(arrivals[0]["vt"], m0), m3)
+    m2 = min(max(arrivals[-1]["vt"], m1), m3)
+    bytes_recv = max((e["args"].get("bytes", 0) for e in done), default=0)
+    span.update(
+        {
+            "complete": True,
+            "post_vt": m0,
+            "first_arrival_vt": m1,
+            "last_arrival_vt": m2,
+            "complete_vt": m3,
+            "bytes": bytes_recv,
+            "e2e_us": m3 - m0,
+            "phases": {
+                "prep_us": m1 - m0,
+                "wire_us": m2 - m1,
+                "deliver_us": m3 - m2,
+            },
+            "critical_path": [
+                {"milestone": "send_post", "vt_us": m0},
+                {"milestone": "first_data_arrival", "vt_us": m1},
+                {"milestone": "last_data_arrival", "vt_us": m2},
+                {"milestone": "recv_complete", "vt_us": m3},
+            ],
+        }
+    )
+    return span
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    k = (len(sorted_vals) - 1) * (p / 100.0)
+    lo = math.floor(k)
+    hi = math.ceil(k)
+    if lo == hi:
+        return sorted_vals[int(k)]
+    return sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * (k - lo)
+
+
+def aggregate(spans):
+    complete = [s for s in spans if s["complete"]]
+    lat = sorted(s["e2e_us"] for s in complete)
+    agg = {
+        "messages": len(spans),
+        "complete_spans": len(complete),
+        "retransmits": sum(s["retransmits"] for s in spans),
+        "faults": sum(s["faults"] for s in spans),
+        "latency_us": {
+            "p50": percentile(lat, 50),
+            "p95": percentile(lat, 95),
+            "p99": percentile(lat, 99),
+            "max": lat[-1] if lat else 0.0,
+        },
+        "phase_totals_us": {
+            "prep": sum(s["phases"]["prep_us"] for s in complete),
+            "wire": sum(s["phases"]["wire_us"] for s in complete),
+            "deliver": sum(s["phases"]["deliver_us"] for s in complete),
+        },
+    }
+    total = sum(agg["phase_totals_us"].values())
+    agg["phase_share"] = {
+        k: (v / total if total > 0 else 0.0)
+        for k, v in agg["phase_totals_us"].items()
+    }
+    return agg
+
+
+def check(spans, agg, tolerance_us):
+    """Validation mode for the ctest `analyze` target."""
+    errors = []
+    if agg["complete_spans"] == 0:
+        errors.append("no complete span reconstructed (missing send_post / "
+                      "recv_complete / arrival events)")
+    for s in spans:
+        if not s["complete"]:
+            continue
+        if not s["critical_path"]:
+            errors.append("msg %d: empty critical path" % s["msg"])
+        phase_sum = sum(s["phases"].values())
+        if abs(phase_sum - s["e2e_us"]) > tolerance_us:
+            errors.append(
+                "msg %d: phases sum to %.3f us but e2e is %.3f us"
+                % (s["msg"], phase_sum, s["e2e_us"])
+            )
+        vts = [m["vt_us"] for m in s["critical_path"]]
+        if vts != sorted(vts):
+            errors.append("msg %d: critical path is not monotone" % s["msg"])
+    return errors
+
+
+def print_report(spans, agg, out=sys.stdout):
+    w = out.write
+    w("per-message spans (virtual us):\n")
+    w("  %8s %10s %10s %10s %10s %10s %6s %6s\n"
+      % ("msg", "bytes", "e2e", "prep", "wire", "deliver", "rexmt", "evts"))
+    for s in sorted(spans, key=lambda s: s["msg"]):
+        if s["complete"]:
+            w("  %8d %10d %10.2f %10.2f %10.2f %10.2f %6d %6d\n"
+              % (s["msg"], s["bytes"], s["e2e_us"], s["phases"]["prep_us"],
+                 s["phases"]["wire_us"], s["phases"]["deliver_us"],
+                 s["retransmits"], s["events"]))
+        else:
+            w("  %8d %10s %10s %10s %10s %10s %6d %6d  (incomplete)\n"
+              % (s["msg"], "-", "-", "-", "-", "-", s["retransmits"],
+                 s["events"]))
+    w("\naggregate:\n")
+    w("  messages: %d (%d with a complete span)\n"
+      % (agg["messages"], agg["complete_spans"]))
+    w("  retransmits: %d   fault events: %d\n"
+      % (agg["retransmits"], agg["faults"]))
+    lat = agg["latency_us"]
+    w("  e2e latency us: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n"
+      % (lat["p50"], lat["p95"], lat["p99"], lat["max"]))
+    w("  phase breakdown: ")
+    w("  ".join("%s=%.2fus (%.0f%%)"
+                % (k, agg["phase_totals_us"][k], 100.0 * agg["phase_share"][k])
+                for k in ("prep", "wire", "deliver")))
+    w("\n")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON written by "
+                                  "MPICD_TRACE_FILE / trace::write_chrome_json")
+    ap.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the report as JSON")
+    ap.add_argument("--check", action="store_true",
+                    help="validate span reconstruction; exit 1 on failure")
+    ap.add_argument("--tolerance-us", type=float, default=0.01,
+                    help="allowed |sum(phases) - e2e| in --check (default "
+                         "0.01, i.e. formatting rounding only)")
+    args = ap.parse_args(argv)
+
+    events = load_events(args.trace)
+    spans = [analyze_msg(m, evs) for m, evs in sorted(group_by_msg(events).items())]
+    agg = aggregate(spans)
+
+    if args.as_json:
+        json.dump({"spans": spans, "aggregate": agg}, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print_report(spans, agg)
+
+    if args.check:
+        errors = check(spans, agg, args.tolerance_us)
+        for e in errors:
+            sys.stderr.write("trace_analyze: CHECK FAILED: %s\n" % e)
+        if errors:
+            return 1
+        sys.stderr.write("trace_analyze: check OK (%d complete spans)\n"
+                         % agg["complete_spans"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
