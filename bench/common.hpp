@@ -150,6 +150,20 @@ public:
         // injection, trace bookkeeping) so every artifact carries the
         // observability context of the run that produced it.
         metrics().write_json(f, 2);
+        // Copy amplification of the whole run: transport memcpy'd bytes per
+        // byte delivered to a receiver (see docs/PERF.md §8). 0 when the
+        // bench delivered nothing (send-only or pure-pack benches).
+        std::uint64_t copied = 0, delivered = 0;
+        for (const auto& s : metrics().snapshot()) {
+            if (s.group != "datapath") continue;
+            if (s.name == "bytes_copied") copied = s.value;
+            if (s.name == "bytes_delivered") delivered = s.value;
+        }
+        const double copy_amp =
+            delivered != 0
+                ? static_cast<double>(copied) / static_cast<double>(delivered)
+                : 0.0;
+        std::fprintf(f, ",\n  \"derived\": {\"copy_amp\": %.6g}", copy_amp);
         std::fprintf(f, "\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", path.c_str());

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "base/pool.hpp"
 #include "base/stats.hpp"
 #include "base/trace.hpp"
 
@@ -83,6 +84,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
         }
     }
     append_pack_metrics(out);
+    append_pool_metrics(out);
     trace::append_metrics(out);
     std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
         return a.group != b.group ? a.group < b.group : a.name < b.name;
@@ -104,6 +106,7 @@ void MetricsRegistry::reset() {
         }
     }
     pack_stats().reset();
+    reset_pool_metrics();
 }
 
 void MetricsRegistry::write_json(std::FILE* out, int indent) const {

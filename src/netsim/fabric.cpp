@@ -78,6 +78,10 @@ void Fabric::deliver_locked(Packet&& pkt) {
         if (i < pkt.header.size()) {
             b = &pkt.header[static_cast<std::size_t>(i)];
         } else if (i - pkt.header.size() < pkt.payload.size()) {
+            // The payload slab may be shared with the sender's retransmit
+            // queue; detach before flipping so the pristine copy survives
+            // to be retransmitted.
+            pkt.payload.ensure_unique();
             b = &pkt.payload[static_cast<std::size_t>(i - pkt.header.size())];
         }
         if (b != nullptr) *b ^= static_cast<std::byte>(1u << d.corrupt_bit);
@@ -194,6 +198,7 @@ bool Fabric::inbox_empty(int ep) {
 SimTime Fabric::rdma_write(int src_ep, int dst_ep, const void* src, void* dst,
                            Count bytes, SimTime ready) {
     std::memcpy(dst, src, static_cast<std::size_t>(bytes));
+    datapath::add_copied(bytes);
     return rdma_cost(src_ep, dst_ep, bytes, 1, ready);
 }
 

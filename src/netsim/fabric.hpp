@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "base/bytes.hpp"
+#include "base/pool.hpp"
 #include "base/time.hpp"
 #include "netsim/fault.hpp"
 #include "netsim/wire_model.hpp"
@@ -51,7 +52,12 @@ struct Packet {
     int dst = -1;
     std::uint16_t kind = 0;
     ByteVec header;      // small protocol header (always by copy)
-    ByteVec payload;     // bulk payload carried by the wire (may be empty)
+    // Bulk payload carried by the wire (may be empty). Pool-backed: copying
+    // a Packet (retransmit queue, duplicate injection) shares the slab when
+    // the pool is enabled and deep-copies when it is not; anyone mutating
+    // payload bytes in place must ensure_unique() first (the fault
+    // injector's corruption stage is the only such site).
+    PooledBuf payload;
     SimTime arrival = 0; // virtual arrival time at the destination
     std::uint64_t seq = 0;
     // Reliable-delivery fields (see src/ucx/worker.cpp, docs/FAULTS.md).

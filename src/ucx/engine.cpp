@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "base/pool.hpp"
+
 namespace mpicd::ucx {
 
 namespace {
@@ -34,6 +36,7 @@ Status scatter_into_regions(std::span<const IovEntry> regions, Count offset,
         remaining -= n;
         offset = 0;
     }
+    datapath::add_copied(static_cast<Count>(src.size()) - remaining);
     return remaining == 0 ? Status::success : Status::err_truncate;
 }
 
@@ -57,6 +60,7 @@ Status gather_from_regions(std::span<const ConstIovEntry> regions, Count offset,
         offset = 0;
     }
     *used = produced;
+    datapath::add_copied(produced);
     return Status::success;
 }
 
@@ -143,9 +147,15 @@ Status SendSource::read(Count offset, MutBytes dst, Count* used, SimTime& host_c
     if (!ok(init_status_)) return init_status_;
     if (generic_) {
         const auto& g = std::get<GenericDesc>(*desc_);
-        const ScopedMeasure measure(host_cost);
-        return g.ops.pack(generic_state_, offset, dst.data(),
-                          static_cast<Count>(dst.size()), used);
+        Status st;
+        {
+            const ScopedMeasure measure(host_cost);
+            st = g.ops.pack(generic_state_, offset, dst.data(),
+                            static_cast<Count>(dst.size()), used);
+        }
+        // The pack callback materialized *used bytes into dst.
+        if (ok(st)) datapath::add_copied(*used);
+        return st;
     }
     return gather_from_regions(regions_, offset, dst, used);
 }
@@ -224,9 +234,15 @@ Status RecvSink::write(Count offset, ConstBytes src, SimTime& host_cost) {
     if (!ok(init_status_)) return init_status_;
     if (generic_) {
         const auto& g = std::get<GenericDesc>(*desc_);
-        const ScopedMeasure measure(host_cost);
-        return g.ops.unpack(generic_state_, offset, src.data(),
-                            static_cast<Count>(src.size()));
+        Status st;
+        {
+            const ScopedMeasure measure(host_cost);
+            st = g.ops.unpack(generic_state_, offset, src.data(),
+                              static_cast<Count>(src.size()));
+        }
+        // The unpack callback consumed src into user memory.
+        if (ok(st)) datapath::add_copied(static_cast<Count>(src.size()));
+        return st;
     }
     return scatter_into_regions(regions_, offset, src);
 }

@@ -1,9 +1,9 @@
 #include "ucx/worker.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <limits>
-#include <map>
 
 #include "base/crc32.hpp"
 #include "base/flight_recorder.hpp"
@@ -156,8 +156,12 @@ struct Worker::Request {
     Count fin_len = 0;
     SimTime op_deadline = 0.0;  // recv-side rendezvous watchdog (0 = none)
     // Fragments that arrived past a gap while the sink requires in-order
-    // unpacking (only possible under the reliable protocol), by offset.
-    std::map<Count, ByteVec> frag_stash;
+    // unpacking (only possible under the reliable protocol), sorted by
+    // offset. A handful of entries at most (one per dropped fragment in
+    // flight), so a sorted vector of pooled buffers beats a node-based
+    // map; the buffers keep referencing the packet slabs — no staging
+    // copy.
+    std::vector<std::pair<Count, PooledBuf>> frag_stash;
 };
 
 struct Worker::Unexpected {
@@ -166,7 +170,7 @@ struct Worker::Unexpected {
     Tag tag = 0;
     int src = -1;
     Count total = 0;
-    ByteVec payload;            // eager only
+    PooledBuf payload;          // eager only
     std::uint64_t sender_op = 0; // rts only
     SimTime arrival = 0.0;
     std::uint64_t msg_id = 0;   // sender's message id (from the packet)
@@ -230,6 +234,8 @@ void Worker::complete_locked(Request& rq, Status st, Count len, Tag sender_tag) 
     if (rq.kind == Request::Kind::recv) {
         ++stats_.recv_completions;
         stats_.bytes_received += static_cast<std::uint64_t>(len);
+        // Denominator of the copy-amplification ratio (see base/pool.hpp).
+        if (ok(st)) datapath::add_delivered(len);
     }
     rq.done = true;
     rq.comp.status = st;
@@ -291,7 +297,10 @@ void Worker::send_packet_locked(netsim::Packet&& pkt, SimTime ready,
     pkt.needs_ack = true;
     pkt.crc = packet_crc(pkt);
     PendingTx ptx;
-    ptx.pkt = pkt; // retransmit copy (header + payload)
+    // Retransmit record: the header is small and copied; the payload is a
+    // PooledBuf, so with the pool on this shares the transmitted slab
+    // (the fabric detaches via ensure_unique() before corrupting bytes).
+    ptx.pkt = pkt;
     ptx.control = control;
     ptx.wire_bytes = wire_bytes;
     ptx.sg_entries = sg_entries;
@@ -558,10 +567,10 @@ void Worker::start_send_locked(Request& rq) {
     // UCX semantics: messages of at least the threshold go rendezvous, so
     // the 2^15 point itself is the first rendezvous size (paper Fig. 7).
     if (total < eager_limit) {
-        ByteVec payload(static_cast<std::size_t>(total));
+        PooledBuf payload = PooledBuf::make(static_cast<std::size_t>(total));
         Count used = 0;
         SimTime pack_cost = 0.0;
-        const Status rst = rq.source->read(0, payload, &used, pack_cost);
+        const Status rst = rq.source->read(0, payload.span(), &used, pack_cost);
         clock_.advance(pack_cost);
         record_pack_throughput(used, pack_cost);
         if (!ok(rst) || used != total) {
@@ -650,7 +659,7 @@ RequestId Worker::tag_recv(Tag tag, Tag mask, BufferDesc desc) {
     return id;
 }
 
-void Worker::match_eager_locked(Request& rq, Tag sender_tag, ByteVec&& payload,
+void Worker::match_eager_locked(Request& rq, Tag sender_tag, PooledBuf&& payload,
                                 SimTime arrival) {
     // Unpack (sink->write) and completion happen on the sender's message.
     const trace::MsgScope msg_scope(rq.msg_id);
@@ -866,10 +875,21 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
     if (h.mode == CtsMode::rdma) {
         // Zero-copy path: write straight into the receiver's exposed
         // regions; cost is pure wire time (link-serialized), no bounce.
+        // The region table rides in the CTS header after the fixed part;
+        // a header too short for the announced region count would read
+        // out of bounds, so fail the operation instead.
+        if (pkt.header.size() <
+            sizeof(CtsHeader) + h.nregions * sizeof(IovEntry)) {
+            MPICD_LOG_ERROR("CTS header truncated: " << pkt.header.size()
+                            << " bytes for " << h.nregions << " regions");
+            complete_locked(rq, Status::err_truncate, 0, 0);
+            return;
+        }
         std::vector<IovEntry> recv_regions(h.nregions);
         std::memcpy(recv_regions.data(), pkt.header.data() + sizeof(CtsHeader),
                     h.nregions * sizeof(IovEntry));
-        ByteVec bounce(static_cast<std::size_t>(std::min(total, frag_size)));
+        PooledBuf bounce =
+            PooledBuf::make(static_cast<std::size_t>(std::min(total, frag_size)));
         Count offset = 0;
         SimTime data_done = clock_.now();
         const Count sg =
@@ -930,16 +950,19 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
     int frag_idx = 0;
     while (offset < total && ok(st)) {
         const Count want = std::min(frag_size, total - offset);
-        ByteVec frag(static_cast<std::size_t>(want));
+        PooledBuf frag = PooledBuf::make(static_cast<std::size_t>(want));
         Count used = 0;
         SimTime pack_cost = 0.0;
-        st = rq.source->read(offset, frag, &used, pack_cost);
+        st = rq.source->read(offset, frag.span(), &used, pack_cost);
         clock_.advance(pack_cost);
         record_pack_throughput(used, pack_cost);
         if (ok(st) && used == 0) st = Status::err_pack;
         if (!ok(st)) break;
         frag_bytes_hist().record(static_cast<std::uint64_t>(used));
-        frag.resize(static_cast<std::size_t>(used));
+        // A short custom-type read must not pin the full `want`-sized slab
+        // for the fragment's wire + retransmit lifetime: shrink_to re-slabs
+        // when at least a whole smaller size class is freed.
+        frag.shrink_to(static_cast<std::size_t>(used));
         const bool last = offset + used >= total;
         netsim::Packet fp;
         fp.src = ep_;
@@ -1015,14 +1038,21 @@ void Worker::handle_frag_locked(netsim::Packet&& pkt) {
         rq.op_deadline = clock_.now() + params_.effective_op_timeout();
 
     // An in-order sink cannot accept a fragment past a gap (a dropped
-    // fragment only arrives later, via retransmission): stash it and
-    // apply once the stream catches up.
+    // fragment only arrives later, via retransmission): stash the pooled
+    // payload — no staging copy, the slab just changes owner — and apply
+    // once the stream catches up. In-order fragments (the entire stream
+    // on a lossless fabric) feed the sink directly from the packet
+    // payload and never touch the stash.
     if (h.offset != rq.bytes_received && !rq.sink->allows_out_of_order()) {
-        rq.frag_stash.emplace(h.offset, std::move(pkt.payload));
+        auto& stash = rq.frag_stash;
+        const auto pos = std::lower_bound(
+            stash.begin(), stash.end(), h.offset,
+            [](const auto& e, Count off) { return e.first < off; });
+        stash.insert(pos, {h.offset, std::move(pkt.payload)});
         return;
     }
 
-    const auto apply = [&](Count offset, const ByteVec& bytes) {
+    const auto apply = [&](Count offset, ConstBytes bytes) {
         SimTime host_cost = 0.0;
         const Status wst = rq.sink->write(offset, bytes, host_cost);
         if (rq.sink->exposes_memory()) {
@@ -1034,14 +1064,14 @@ void Worker::handle_frag_locked(netsim::Packet&& pkt) {
         return wst;
     };
 
-    Status st = apply(h.offset, pkt.payload);
-    // Drain stashed fragments that the stream has now reached.
-    while (ok(st)) {
-        const auto sit = rq.frag_stash.find(rq.bytes_received);
-        if (sit == rq.frag_stash.end()) break;
-        const ByteVec bytes = std::move(sit->second);
-        rq.frag_stash.erase(sit);
-        st = apply(rq.bytes_received, bytes);
+    Status st = apply(h.offset, pkt.payload.cspan());
+    // Drain stashed fragments that the stream has now reached (the stash
+    // is sorted by offset, so each catch-up candidate is the front).
+    while (ok(st) && !rq.frag_stash.empty() &&
+           rq.frag_stash.front().first == rq.bytes_received) {
+        const PooledBuf bytes = std::move(rq.frag_stash.front().second);
+        rq.frag_stash.erase(rq.frag_stash.begin());
+        st = apply(rq.bytes_received, bytes.cspan());
     }
     if (!ok(st)) {
         rndv_recvs_.erase(h.recv_op);

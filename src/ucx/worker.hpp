@@ -187,7 +187,7 @@ private:
     void refresh_reliable_locked();
 
     // Deliver a matched eager payload / RTS to a posted receive request.
-    void match_eager_locked(Request& rq, Tag sender_tag, ByteVec&& payload,
+    void match_eager_locked(Request& rq, Tag sender_tag, PooledBuf&& payload,
                             SimTime arrival);
     void match_rts_locked(Request& rq, Tag sender_tag, int src, Count total_len,
                           std::uint64_t sender_op, SimTime arrival);
@@ -229,8 +229,10 @@ private:
     // rest of its lifetime (reliability never switches off mid-run).
     bool reliable_ = false;
     std::uint64_t next_link_seq_ = 1;
-    // Unacknowledged outgoing packets by link_seq: the retransmit copy and
-    // its backoff schedule in virtual time.
+    // Unacknowledged outgoing packets by link_seq: the retransmit record
+    // and its backoff schedule in virtual time. The payload inside `pkt`
+    // is a PooledBuf, so with the pool enabled this record *shares* the
+    // transmitted packet's slab instead of duplicating the bytes.
     struct PendingTx {
         netsim::Packet pkt;
         bool control = false;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "base/flight_recorder.hpp"
 #include "base/hist.hpp"
 #include "base/metrics.hpp"
+#include "base/pool.hpp"
 #include "base/stats.hpp"
 #include "base/status.hpp"
 #include "base/time.hpp"
@@ -440,6 +442,175 @@ TEST(Flight, DisarmedTriggerIsANoOp) {
     const std::uint64_t before = flight::dump_count();
     flight::trigger("disarmed");
     EXPECT_EQ(flight::dump_count(), before);
+}
+
+// --- Slab buffer pool (base/pool.hpp) --------------------------------------
+
+// Restores the pool's enabled state (tests run in one process; the pool is
+// a process-wide singleton).
+class PoolGuard {
+public:
+    PoolGuard() : prev_(BufferPool::instance().enabled()) {}
+    ~PoolGuard() {
+        BufferPool::instance().set_enabled(prev_);
+        BufferPool::instance().trim();
+    }
+
+private:
+    bool prev_;
+};
+
+void fill_pattern(PooledBuf& b, unsigned salt) {
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::byte>((i * 13 + salt) & 0xFF);
+}
+
+TEST(Pool, SizeClassesRoundUpToPowersOfTwo) {
+    const PoolGuard guard;
+    BufferPool::instance().set_enabled(true);
+    EXPECT_EQ(PooledBuf::make(1).capacity(), BufferPool::kMinClass);
+    EXPECT_EQ(PooledBuf::make(256).capacity(), 256u);
+    EXPECT_EQ(PooledBuf::make(257).capacity(), 512u);
+    EXPECT_EQ(PooledBuf::make(16 * 1024).capacity(), 16u * 1024);
+    EXPECT_EQ(PooledBuf::make(BufferPool::kMaxClass).capacity(),
+              BufferPool::kMaxClass);
+    // Oversize requests get an exact, never-cached allocation.
+    EXPECT_EQ(PooledBuf::make(BufferPool::kMaxClass + 1).capacity(),
+              BufferPool::kMaxClass + 1);
+}
+
+TEST(Pool, CopySharesSlabWhenPoolOn) {
+    const PoolGuard guard;
+    BufferPool::instance().set_enabled(true);
+    PooledBuf a = PooledBuf::make(1000);
+    fill_pattern(a, 1);
+    const std::uint64_t copied_before =
+        datapath::bytes_copied().load(std::memory_order_relaxed);
+    const PooledBuf b = a;
+    EXPECT_EQ(b.data(), a.data()); // shared slab, no byte copy
+    EXPECT_FALSE(a.unique());
+    EXPECT_FALSE(b.unique());
+    EXPECT_EQ(datapath::bytes_copied().load(std::memory_order_relaxed),
+              copied_before);
+}
+
+TEST(Pool, CopyIsDeepWhenPoolOff) {
+    const PoolGuard guard;
+    BufferPool::instance().set_enabled(false);
+    PooledBuf a = PooledBuf::make(1000);
+    fill_pattern(a, 2);
+    const PooledBuf b = a;
+    ASSERT_EQ(b.size(), a.size());
+    EXPECT_NE(b.data(), a.data()); // seed behaviour: a real copy
+    EXPECT_TRUE(a.unique());
+    EXPECT_TRUE(b.unique());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+}
+
+TEST(Pool, EnsureUniqueDetachesSharedSlab) {
+    const PoolGuard guard;
+    BufferPool::instance().set_enabled(true);
+    PooledBuf a = PooledBuf::make(4096);
+    fill_pattern(a, 3);
+    PooledBuf b = a;
+    ASSERT_EQ(b.data(), a.data());
+    b.ensure_unique();
+    EXPECT_NE(b.data(), a.data());
+    EXPECT_TRUE(a.unique());
+    EXPECT_TRUE(b.unique());
+    ASSERT_EQ(b.size(), a.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+    // Corrupting the detached copy must not touch the original.
+    b[0] = static_cast<std::byte>(0xFF);
+    EXPECT_NE(a[0], b[0]);
+}
+
+TEST(Pool, ShrinkToReslabsLargeUnusedTail) {
+    const PoolGuard guard;
+    BufferPool::instance().set_enabled(true);
+    PooledBuf a = PooledBuf::make(64 * 1024);
+    fill_pattern(a, 4);
+    ByteVec expect(a.data(), a.data() + 100);
+    a.shrink_to(100);
+    EXPECT_EQ(a.size(), 100u);
+    // A short read must not pin the full fragment-sized slab.
+    EXPECT_EQ(a.capacity(), BufferPool::kMinClass);
+    EXPECT_EQ(std::memcmp(a.data(), expect.data(), expect.size()), 0);
+}
+
+TEST(Pool, ShrinkToKeepsSlabWhenSharedOrClose) {
+    const PoolGuard guard;
+    BufferPool::instance().set_enabled(true);
+    PooledBuf a = PooledBuf::make(8192);
+    const PooledBuf share = a; // not unique: shrink must not re-slab
+    a.shrink_to(10);
+    EXPECT_EQ(a.size(), 10u);
+    EXPECT_EQ(a.capacity(), 8192u);
+    PooledBuf b = PooledBuf::make(8192);
+    b.shrink_to(8000); // within the same class: nothing to reclaim
+    EXPECT_EQ(b.capacity(), 8192u);
+}
+
+TEST(Pool, FreelistReusesReturnedSlabs) {
+    const PoolGuard guard;
+    BufferPool& pool = BufferPool::instance();
+    pool.set_enabled(true);
+    pool.trim();
+    const PoolStats before = pool.stats();
+    const std::byte* first = nullptr;
+    {
+        const PooledBuf a = PooledBuf::make(8192);
+        first = a.data();
+    } // released to the 8 KiB freelist
+    const PooledBuf b = PooledBuf::make(8192);
+    EXPECT_EQ(b.data(), first); // recycled, not reallocated
+    const PoolStats after = pool.stats();
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_EQ(after.returns, before.returns + 1);
+}
+
+TEST(Pool, DisabledPoolCountsHeapAllocsAndTrims) {
+    const PoolGuard guard;
+    BufferPool& pool = BufferPool::instance();
+    pool.set_enabled(true);
+    { const PooledBuf warm = PooledBuf::make(4096); } // seeds the freelist
+    EXPECT_GT(pool.stats().bytes_cached, 0u);
+    pool.set_enabled(false); // disabling trims the cache
+    EXPECT_EQ(pool.stats().bytes_cached, 0u);
+    const PoolStats before = pool.stats();
+    { const PooledBuf a = PooledBuf::make(4096); }
+    const PoolStats after = pool.stats();
+    EXPECT_EQ(after.heap_allocs, before.heap_allocs + 1);
+    EXPECT_EQ(after.hits, before.hits);
+    EXPECT_EQ(after.bytes_cached, 0u); // pool-off slabs are never cached
+}
+
+TEST(Pool, OutstandingTracksLiveBuffers) {
+    const PoolGuard guard;
+    BufferPool& pool = BufferPool::instance();
+    pool.set_enabled(true);
+    const std::uint64_t base = pool.outstanding();
+    {
+        const PooledBuf a = PooledBuf::make(1024);
+        const PooledBuf b = a; // shared: still ONE live slab
+        EXPECT_EQ(pool.outstanding(), base + 1);
+        const PooledBuf c = PooledBuf::make(512);
+        EXPECT_EQ(pool.outstanding(), base + 2);
+    }
+    EXPECT_EQ(pool.outstanding(), base); // leak check
+}
+
+TEST(Pool, CopyOfCountsCopiedBytes) {
+    const PoolGuard guard;
+    BufferPool::instance().set_enabled(true);
+    const ByteVec src(777, static_cast<std::byte>(0x5A));
+    const std::uint64_t copied_before =
+        datapath::bytes_copied().load(std::memory_order_relaxed);
+    const PooledBuf b = PooledBuf::copy_of(src);
+    ASSERT_EQ(b.size(), src.size());
+    EXPECT_EQ(std::memcmp(b.data(), src.data(), src.size()), 0);
+    EXPECT_EQ(datapath::bytes_copied().load(std::memory_order_relaxed),
+              copied_before + 777);
 }
 
 } // namespace

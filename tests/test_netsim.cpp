@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "netsim/fabric.hpp"
@@ -140,15 +141,17 @@ TEST(Fabric, DeliversPacketWithPayload) {
     pkt.src = 0;
     pkt.dst = 1;
     pkt.kind = 7;
-    pkt.payload = test::pattern_bytes(100);
-    const ByteVec expected = pkt.payload;
+    const ByteVec expected = test::pattern_bytes(100);
+    pkt.payload = PooledBuf::copy_of(expected);
     const SimTime arrival = f.transmit(std::move(pkt), 0.0, 100);
     // 100 bytes at 1000 B/us + 1 us latency.
     EXPECT_DOUBLE_EQ(arrival, 0.1 + 1.0);
     auto got = f.poll(1);
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->kind, 7);
-    EXPECT_EQ(got->payload, expected);
+    ASSERT_EQ(got->payload.size(), expected.size());
+    EXPECT_EQ(std::memcmp(got->payload.data(), expected.data(),
+                          expected.size()), 0);
     EXPECT_DOUBLE_EQ(got->arrival, arrival);
     EXPECT_FALSE(f.poll(1).has_value());
 }

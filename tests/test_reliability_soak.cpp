@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "base/pool.hpp"
 #include "netsim/fault.hpp"
 #include "p2p/communicator.hpp"
 #include "p2p/universe.hpp"
@@ -151,6 +152,45 @@ TEST(ReliabilitySoak, LossyRunMatchesLosslessReference) {
         // receive completes no earlier than its predecessor).
         EXPECT_GE(lossy_run[i].vtime, last);
         last = lossy_run[i].vtime;
+    }
+}
+
+TEST(ReliabilitySoak, PooledLossySoakByteIdentical) {
+    // The slab pool must be invisible to the protocol: the same seeded
+    // drop + dup + reorder (+ corruption, which forces copy-on-write of
+    // shared retransmit payloads) storm delivers every payload intact with
+    // the pool off (deep-copy seed behaviour) and on (shared slabs), and
+    // the pool leak-checks to zero live buffers once each universe is torn
+    // down.
+    BufferPool& pool = BufferPool::instance();
+    const bool prev = pool.enabled();
+    FaultConfig cfg;
+    cfg.seed = 0xB00F;
+    cfg.drop = 0.04;
+    cfg.dup = 0.03;
+    cfg.reorder = 0.03;
+    cfg.corrupt = 0.02;
+
+    const int kMessages = 260;
+    std::vector<SoakRecord> runs[2];
+    for (const bool pool_on : {false, true}) {
+        pool.set_enabled(pool_on);
+        runs[pool_on ? 1 : 0] = run_soak(kMessages, cfg);
+        // run_soak's universe is destroyed on return: every packet,
+        // retransmit record and stash entry has released its buffer.
+        EXPECT_EQ(pool.outstanding(), 0u)
+            << "pool leak with pool " << (pool_on ? "on" : "off");
+    }
+    pool.set_enabled(prev);
+    pool.trim();
+
+    ASSERT_EQ(runs[0].size(), runs[1].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+        SCOPED_TRACE("message " + std::to_string(i));
+        EXPECT_EQ(runs[0][i].status, Status::success);
+        EXPECT_EQ(runs[1][i].status, Status::success);
+        EXPECT_TRUE(runs[0][i].payload_ok);
+        EXPECT_TRUE(runs[1][i].payload_ok);
     }
 }
 

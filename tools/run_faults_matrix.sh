@@ -10,6 +10,12 @@
 # Everything else must pass unmodified — that is the point of the sweep: the
 # reliable-delivery protocol makes packet loss invisible to correctness.
 #
+# A final AddressSanitizer leg rebuilds the datapath-relevant tests in a
+# separate build tree (-DMPICD_SANITIZE=address) and replays the lossy
+# configuration through them: the pooled hot path recycles and shares
+# buffers across threads, and ASan turns any use-after-release or
+# double-release of a slab into a hard failure. MPICD_SKIP_ASAN=1 skips it.
+#
 # Usage: tools/run_faults_matrix.sh [build-dir] (default: build)
 set -euo pipefail
 
@@ -44,5 +50,27 @@ for seed in "${SEEDS[@]}"; do
     MPICD_FAULT_DELAY_US=10 \
     run_ctest -E "$EXCLUDE"
 done
+
+if [[ "${MPICD_SKIP_ASAN:-0}" != "1" ]]; then
+    ASAN_DIR=${BUILD_DIR}-asan
+    ASAN_TESTS='test_base|test_ucx|test_faults|test_reliability_soak'
+    echo "=== asan leg: configuring $ASAN_DIR ==="
+    cmake -B "$ASAN_DIR" -S . \
+          -DMPICD_SANITIZE=address \
+          -DMPICD_BUILD_BENCH=OFF \
+          -DMPICD_BUILD_EXAMPLES=OFF >/dev/null
+    cmake --build "$ASAN_DIR" -j "$JOBS" --target \
+          test_base test_ucx test_faults test_reliability_soak
+    echo "=== asan leg: lossy datapath tests under AddressSanitizer ==="
+    MPICD_FAULT_SEED=42 \
+    MPICD_FAULT_DROP=0.01 \
+    MPICD_FAULT_DUP=0.01 \
+    MPICD_FAULT_REORDER=0.01 \
+    MPICD_FAULT_CORRUPT=0.01 \
+    ctest --test-dir "$ASAN_DIR" -j "$JOBS" --output-on-failure \
+          --repeat until-pass:2 -R "$ASAN_TESTS"
+else
+    echo "=== asan leg: skipped (MPICD_SKIP_ASAN=1) ==="
+fi
 
 echo "=== fault matrix: all passes green ==="
