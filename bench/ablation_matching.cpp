@@ -1,0 +1,201 @@
+// Ablation A7: hashed TagMatcher vs the linear seed matcher must be
+// OBSERVATIONALLY IDENTICAL — same statuses, same payload bytes, same
+// virtual completion times, same wire traffic (bytes, retransmits, acks)
+// — across a fault matrix. The hashed matcher is a pure data-structure
+// swap; any divergence is a matching-semantics bug, so this bench exits
+// nonzero on the first mismatch (making the bench-smoke ctest leg a
+// correctness gate, not just a perf gate).
+//
+// Single-threaded and seeded: every run of a (mode, scenario) pair is a
+// deterministic function of the traffic, so equality is exact, not
+// statistical. MPICD_TAG_MATCH is flipped between runs via setenv before
+// universe construction (the worker samples it when it builds its
+// matcher).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "netsim/fault.hpp"
+
+namespace {
+
+using namespace mpicd;
+using namespace mpicd::bench;
+
+// FNV-1a over a byte buffer: cheap, deterministic payload fingerprint.
+std::uint64_t fnv1a(const ByteVec& v) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::byte b : v) {
+        h ^= static_cast<std::uint64_t>(b);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+// Everything observable about one run: per-message outcomes plus the
+// protocol's wire-level footprint.
+struct RunResult {
+    std::vector<int> statuses;
+    std::vector<double> vtimes;
+    std::vector<std::uint64_t> payloads;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t eager_sends = 0;
+    std::uint64_t rndv_sends = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t dups_suppressed = 0;
+    std::uint64_t crc_detected = 0;
+    bool idle = true;
+
+    bool operator==(const RunResult&) const = default;
+};
+
+void note(RunResult& out, const p2p::MsgStatus& st, const ByteVec& payload) {
+    out.statuses.push_back(static_cast<int>(st.status));
+    out.vtimes.push_back(st.vtime);
+    out.payloads.push_back(fnv1a(payload));
+}
+
+// Deterministic mixed traffic: pre-posted and unexpected receives, exact
+// and wildcard matching, eager and rendezvous sizes, deep tag queues.
+RunResult run_traffic(const netsim::FaultConfig& cfg) {
+    RunResult out;
+    p2p::Universe uni(2, netsim::WireParams::from_env(), cfg);
+    const int kRounds = smoke_mode() ? 12 : 48;
+
+    for (int i = 0; i < kRounds; ++i) {
+        const std::size_t len =
+            (i % 5 == 4) ? 64 * 1024 + static_cast<std::size_t>(i) * 128
+                         : 128 + static_cast<std::size_t>(i % 7) * 256;
+        ByteVec src(len);
+        for (std::size_t k = 0; k < len; ++k)
+            src[k] = static_cast<std::byte>((k * 31 + static_cast<std::size_t>(i)) & 0xFF);
+        ByteVec dst(len);
+
+        p2p::Request rr, rs;
+        switch (i % 3) {
+            case 0: // pre-posted, exact (src, tag)
+                rr = uni.comm(1).irecv_bytes(dst.data(), Count(len), 0, i);
+                rs = uni.comm(0).isend_bytes(src.data(), Count(len), 1, i);
+                break;
+            case 1: // unexpected: the send lands before the recv is posted
+                rs = uni.comm(0).isend_bytes(src.data(), Count(len), 1, i);
+                uni.progress_all();
+                uni.progress_all();
+                rr = uni.comm(1).irecv_bytes(dst.data(), Count(len), 0, i);
+                break;
+            default: // wildcard receive
+                rr = uni.comm(1).irecv_bytes(dst.data(), Count(len),
+                                             p2p::kAnySource, p2p::kAnyTag);
+                rs = uni.comm(0).isend_bytes(src.data(), Count(len), 1, i);
+                break;
+        }
+        const auto ss = rs.wait();
+        const auto st = rr.wait();
+        note(out, ok(ss.status) ? st : ss, dst);
+        if (dst != src) out.payloads.back() ^= 1; // poison on mismatch
+    }
+
+    for (int r = 0; r < 2; ++r) {
+        const auto s = uni.worker(r).stats();
+        out.wire_bytes += s.bytes_sent;
+        out.eager_sends += s.eager_sends;
+        out.rndv_sends += s.rndv_sends;
+        out.retransmits += s.retransmits;
+        out.acks_sent += s.acks_sent;
+        out.dups_suppressed += s.duplicates_suppressed;
+        out.crc_detected += s.corruption_detected;
+        out.idle = out.idle && uni.worker(r).idle();
+    }
+    return out;
+}
+
+RunResult run_mode(const char* mode, const netsim::FaultConfig& cfg) {
+    setenv("MPICD_TAG_MATCH", mode, 1);
+    RunResult r = run_traffic(cfg);
+    unsetenv("MPICD_TAG_MATCH");
+    return r;
+}
+
+} // namespace
+
+int main() {
+    using namespace mpicd;
+    using namespace mpicd::bench;
+
+    struct Scenario {
+        const char* label;
+        double drop, dup, corrupt, reorder;
+    };
+    const Scenario scenarios[] = {
+        {"lossless", 0.0, 0.0, 0.0, 0.0}, {"drop-2%", 0.02, 0.0, 0.0, 0.0},
+        {"dup-3%", 0.0, 0.03, 0.0, 0.0},  {"corrupt-2%", 0.0, 0.0, 0.02, 0.0},
+        {"mixed", 0.02, 0.02, 0.02, 0.02},
+    };
+    const std::size_t n = bench_limit(2, 5);
+
+    Table table("Ablation A7: linear vs hashed matcher, wire-identical "
+                "under faults",
+                "scenario",
+                {"messages", "wire_bytes", "retransmits", "identical"});
+
+    bool all_identical = true;
+    for (std::size_t s = 0; s < n; ++s) {
+        const Scenario& sc = scenarios[s];
+        netsim::FaultConfig cfg;
+        cfg.seed = 0x3A7C0 + static_cast<std::uint64_t>(s);
+        cfg.drop = sc.drop;
+        cfg.dup = sc.dup;
+        cfg.corrupt = sc.corrupt;
+        cfg.reorder = sc.reorder;
+        if (sc.drop + sc.dup + sc.corrupt + sc.reorder == 0.0)
+            cfg.force_reliable = true; // keep the protocol armed everywhere
+
+        const RunResult lin = run_mode("linear", cfg);
+        const RunResult hsh = run_mode("hashed", cfg);
+        const bool same = lin == hsh;
+        all_identical = all_identical && same;
+        table.add_row(sc.label,
+                      {static_cast<double>(hsh.statuses.size()),
+                       static_cast<double>(hsh.wire_bytes),
+                       static_cast<double>(hsh.retransmits),
+                       same ? 1.0 : 0.0});
+        if (!same) {
+            std::fprintf(stderr, "DIVERGENCE in scenario %s:\n", sc.label);
+            std::fprintf(stderr,
+                         "  wire_bytes  lin=%llu hsh=%llu\n"
+                         "  retransmits lin=%llu hsh=%llu\n"
+                         "  acks        lin=%llu hsh=%llu\n"
+                         "  idle        lin=%d hsh=%d\n",
+                         static_cast<unsigned long long>(lin.wire_bytes),
+                         static_cast<unsigned long long>(hsh.wire_bytes),
+                         static_cast<unsigned long long>(lin.retransmits),
+                         static_cast<unsigned long long>(hsh.retransmits),
+                         static_cast<unsigned long long>(lin.acks_sent),
+                         static_cast<unsigned long long>(hsh.acks_sent),
+                         lin.idle, hsh.idle);
+            for (std::size_t i = 0; i < lin.statuses.size(); ++i) {
+                if (i < hsh.statuses.size() &&
+                    (lin.statuses[i] != hsh.statuses[i] ||
+                     lin.vtimes[i] != hsh.vtimes[i] ||
+                     lin.payloads[i] != hsh.payloads[i]))
+                    std::fprintf(stderr,
+                                 "  msg %zu: status %d/%d vtime %.6f/%.6f\n",
+                                 i, lin.statuses[i], hsh.statuses[i],
+                                 lin.vtimes[i], hsh.vtimes[i]);
+            }
+        }
+    }
+
+    table.finish("ablation_matching");
+    if (!all_identical) {
+        std::fprintf(stderr,
+                     "FAIL: linear and hashed matchers diverged on the "
+                     "fault matrix\n");
+        return 1;
+    }
+    return 0;
+}

@@ -74,7 +74,7 @@ bool Request::test(MsgStatus* out) {
         if (out != nullptr) *out = result_;
         return true;
     }
-    uni_->progress_all();
+    uni_->progress(worker_->endpoint());
     if (!worker_->is_complete(id_)) return false;
     return finalize_locked_completion(worker_->take_completion(id_), out);
 }
@@ -101,7 +101,29 @@ MsgStatus Request::wait() {
 
 Communicator::Communicator(Universe& uni, ucx::Worker& worker, int rank, int size,
                            std::uint16_t context)
-    : uni_(uni), worker_(worker), rank_(rank), size_(size), context_(context) {}
+    : uni_(uni), worker_(worker), rank_(rank), size_(size), context_(context) {
+    // The 16-bit source field addresses ranks 0..65535; a wider world (or a
+    // negative/out-of-world rank) would alias through the mask in
+    // encode_send_tag. Mark the communicator invalid instead.
+    if (rank < 0 || size <= 0 || rank >= size || size > kMaxWorldSize)
+        ctor_status_ = Status::err_arg;
+}
+
+Status Communicator::check_send(int dst, int tag) const {
+    if (!ok(ctor_status_)) return ctor_status_;
+    if (dst < 0 || dst >= size_) return Status::err_arg;
+    // A negative user tag would alias a large positive one through the
+    // 32-bit user field (kAnyTag is only meaningful on the receive side).
+    if (tag < 0) return Status::err_arg;
+    return Status::success;
+}
+
+Status Communicator::check_recv(int src, int tag) const {
+    if (!ok(ctor_status_)) return ctor_status_;
+    if (src != kAnySource && (src < 0 || src >= size_)) return Status::err_arg;
+    if (tag != kAnyTag && tag < 0) return Status::err_arg;
+    return Status::success;
+}
 
 ucx::Tag Communicator::encode_send_tag(int tag) const {
     return (static_cast<ucx::Tag>(context_) << kCtxShift) |
@@ -141,13 +163,17 @@ Request Communicator::make_error_request(Status st) {
 }
 
 Request Communicator::isend_bytes(const void* p, Count n, int dst, int tag) {
-    if (dst < 0 || dst >= size_ || n < 0) return make_error_request(Status::err_arg);
+    if (n < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_send(dst, tag); !ok(st))
+        return make_error_request(st);
     return make_request(
         worker_.tag_send(dst, encode_send_tag(tag), ucx::make_contig_send(p, n)));
 }
 
 Request Communicator::irecv_bytes(void* p, Count n, int src, int tag) {
     if (n < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_recv(src, tag); !ok(st))
+        return make_error_request(st);
     ucx::Tag t = 0, mask = 0;
     encode_recv_tag(src, tag, &t, &mask);
     return make_request(worker_.tag_recv(t, mask, ucx::make_contig_recv(p, n)));
@@ -155,8 +181,9 @@ Request Communicator::irecv_bytes(void* p, Count n, int src, int tag) {
 
 Request Communicator::isend(const void* buf, Count count, const dt::TypeRef& type,
                             int dst, int tag) {
-    if (type == nullptr || count < 0 || dst < 0 || dst >= size_)
-        return make_error_request(Status::err_arg);
+    if (type == nullptr || count < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_send(dst, tag); !ok(st))
+        return make_error_request(st);
     if (!type->committed()) return make_error_request(Status::err_not_committed);
     if (type->is_contiguous()) {
         return make_request(worker_.tag_send(
@@ -170,6 +197,8 @@ Request Communicator::isend(const void* buf, Count count, const dt::TypeRef& typ
 Request Communicator::irecv(void* buf, Count count, const dt::TypeRef& type, int src,
                             int tag) {
     if (type == nullptr || count < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_recv(src, tag); !ok(st))
+        return make_error_request(st);
     if (!type->committed()) return make_error_request(Status::err_not_committed);
     ucx::Tag t = 0, mask = 0;
     encode_recv_tag(src, tag, &t, &mask);
@@ -183,7 +212,8 @@ Request Communicator::irecv(void* buf, Count count, const dt::TypeRef& type, int
 Request Communicator::isend_custom(const void* buf, Count count,
                                    const core::CustomDatatype& type, int dst, int tag,
                                    core::CustomLowering lowering) {
-    if (dst < 0 || dst >= size_) return make_error_request(Status::err_arg);
+    if (const Status st = check_send(dst, tag); !ok(st))
+        return make_error_request(st);
     // Allocate the message id before lowering so the engine's pack/lowering
     // spans and the transport's wire events all carry one id (tag_send
     // adopts an open scope instead of allocating its own).
@@ -197,6 +227,8 @@ Request Communicator::isend_custom(const void* buf, Count count,
 Request Communicator::irecv_custom(void* buf, Count count,
                                    const core::CustomDatatype& type, int src, int tag,
                                    core::CustomLowering lowering) {
+    if (const Status st = check_recv(src, tag); !ok(st))
+        return make_error_request(st);
     auto op = std::make_shared<core::CustomRecvOp>();
     const Status st =
         core::lower_custom_recv(type, buf, count, worker_, op.get(), lowering);
@@ -259,7 +291,8 @@ Status wait_all(std::span<Request> requests) {
 }
 
 std::optional<ProbeResult> Communicator::iprobe(int src, int tag) {
-    uni_.progress_all();
+    if (!ok(check_recv(src, tag))) return std::nullopt;
+    uni_.progress(worker_.endpoint());
     ucx::Tag t = 0, mask = 0;
     encode_recv_tag(src, tag, &t, &mask);
     const auto info = worker_.probe(t, mask);
@@ -285,7 +318,8 @@ ProbeResult Communicator::probe(int src, int tag) {
 }
 
 std::optional<Message> Communicator::improbe(int src, int tag) {
-    uni_.progress_all();
+    if (!ok(check_recv(src, tag))) return std::nullopt;
+    uni_.progress(worker_.endpoint());
     ucx::Tag t = 0, mask = 0;
     encode_recv_tag(src, tag, &t, &mask);
     const auto handle = worker_.mprobe(t, mask);

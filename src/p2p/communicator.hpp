@@ -74,13 +74,24 @@ private:
     Status early_error_ = Status::success; // lowering failed before posting
 };
 
+// Widest world the wire tag layout can address: the source rank rides in a
+// 16-bit field, so ranks 0..65535 are representable and anything larger
+// would silently alias (rank 65536 would encode as rank 0).
+inline constexpr int kMaxWorldSize = 1 << 16;
+
 class Communicator {
 public:
+    // Ranks/sizes outside the wire tag layout's range are rejected: the
+    // communicator is marked invalid and every operation returns
+    // Status::err_arg instead of silently truncating the source field.
     Communicator(Universe& uni, ucx::Worker& worker, int rank, int size,
                  std::uint16_t context);
 
     [[nodiscard]] int rank() const noexcept { return rank_; }
     [[nodiscard]] int size() const noexcept { return size_; }
+    // Construction validity (MPI error-state analog): Status::err_arg when
+    // rank/size fell outside the wire tag layout's addressable range.
+    [[nodiscard]] Status status() const noexcept { return ctor_status_; }
     [[nodiscard]] Universe& universe() noexcept { return uni_; }
     [[nodiscard]] ucx::Worker& worker() noexcept { return worker_; }
 
@@ -141,6 +152,12 @@ private:
 
     [[nodiscard]] ucx::Tag encode_send_tag(int tag) const;
     void encode_recv_tag(int src, int tag, ucx::Tag* t, ucx::Tag* mask) const;
+    // Argument validation at tag-encode time (see the constructor note):
+    // negative user tags would alias large positives in the 32-bit user
+    // field, out-of-range peers would alias through the 16-bit source
+    // field.
+    [[nodiscard]] Status check_send(int dst, int tag) const;
+    [[nodiscard]] Status check_recv(int src, int tag) const;
     Request make_request(ucx::RequestId id);
     Request make_error_request(Status st);
 
@@ -149,6 +166,7 @@ private:
     int rank_;
     int size_;
     std::uint16_t context_;
+    Status ctor_status_ = Status::success; // err_arg when rank/size overflow
 };
 
 // Wait for every request; returns the first non-success status (all

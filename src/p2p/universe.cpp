@@ -36,13 +36,45 @@ bool Universe::progress_all() {
     bool any = false;
     for (auto& w : workers_) any = w->progress() || any;
     if (any || !fabric_.reliable()) return any;
+    return escalate_timers();
+}
+
+bool Universe::progress(int rank) {
+    assert(rank >= 0 && rank < size());
+    bool any = workers_[static_cast<std::size_t>(rank)]->progress();
+    if (any) return true;
+    // Own worker idle: help peers so a single thread driving both ends of
+    // a transfer (the deterministic benchmark mode) still converges. Busy
+    // peers — ones another rank thread is already progressing — are
+    // skipped, not waited on.
+    for (int r = 0; r < size(); ++r) {
+        if (r == rank) continue;
+        any = workers_[static_cast<std::size_t>(r)]->progress() || any;
+    }
+    if (any || !fabric_.reliable()) return any;
     // Quiescent fabric with the reliable protocol armed: the only way
     // forward is a virtual-time timer (retransmit deadline or operation
-    // watchdog). Jump every clock to the earliest one and progress again.
+    // watchdog).
+    return escalate_timers();
+}
+
+bool Universe::escalate_timers() {
+    const std::lock_guard<std::mutex> lock(escalate_mutex_);
+    // Re-verify global quiescence under the escalation lock: if any rank
+    // thread is mid-progress or any inbox still holds packets, those
+    // packets may logically precede the timer deadline — escalating now
+    // would fire timers for live operations. Bail out; the caller's
+    // progress loop retries and the packets get drained first.
+    for (const auto& w : workers_)
+        if (w->progress_active()) return false;
+    for (int ep = 0; ep < size(); ++ep)
+        if (!fabric_.inbox_empty(ep)) return false;
+    // Jump every clock to the earliest timer and progress again.
     SimTime t = std::numeric_limits<SimTime>::infinity();
     for (auto& w : workers_) t = std::min(t, w->next_timer());
     if (!std::isfinite(t)) return false;
     for (auto& w : workers_) w->observe_time(t);
+    bool any = false;
     for (auto& w : workers_) any = w->progress() || any;
     return any;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "netsim/fabric.hpp"
@@ -43,7 +44,32 @@ public:
     // makes progress — a lost packet can never stall the simulation.
     bool progress_all();
 
+    // Per-rank progress engine: drives `rank`'s own worker, and only when
+    // that worker is out of work opportunistically helps peers (each
+    // worker's progress() is serialized by its own busy flag, so helpers
+    // skip rather than contend). Helping is what keeps single-threaded
+    // drivers — one thread waiting on both ends of a transfer — live; a
+    // thread-per-rank driver almost always finds peers busy with their
+    // own threads. Falls back to the same timer escalation as
+    // progress_all() when the whole fabric is quiescent.
+    bool progress(int rank);
+
 private:
+    // Jump virtual time to the earliest pending reliable-delivery timer
+    // and progress every worker once; false if no timer is pending.
+    //
+    // Escalation is only legal when the fabric is GLOBALLY quiescent:
+    // every inbox empty and no worker mid-progress on another thread.
+    // Otherwise a concurrent rank thread may hold packets that would have
+    // arrived before the timer deadline, and jumping the clocks past them
+    // fires retransmit/watchdog timers for operations that are actually
+    // alive (in the worst case failing a receive whose rendezvous data is
+    // still in flight). The check and the jump are serialized so racing
+    // escalators cannot compound jumps either; false when the quiescence
+    // check fails (the caller just retries its progress loop).
+    bool escalate_timers();
+
+    std::mutex escalate_mutex_;
     netsim::Fabric fabric_;
     std::vector<std::unique_ptr<ucx::Worker>> workers_;
     std::vector<std::unique_ptr<Communicator>> comms_;

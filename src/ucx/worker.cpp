@@ -33,6 +33,12 @@ Histogram& pack_mbps_hist() {
     static Histogram& h = metrics().histogram("pack", "throughput_mbps");
     return h;
 }
+// How long unexpected messages sat parked before a matching receive
+// arrived (virtual ns); a direct read on receive-side posting discipline.
+Histogram& unexpected_dwell_hist() {
+    static Histogram& h = metrics().histogram("match", "unexpected_dwell_ns");
+    return h;
+}
 
 // Record the throughput of one measured pack callback. Sub-0.05us samples
 // are noise (timer granularity), not throughput.
@@ -116,10 +122,6 @@ H decode_header(const ByteVec& bytes) {
     return h;
 }
 
-[[nodiscard]] bool tag_matches(Tag posted_tag, Tag mask, Tag incoming) noexcept {
-    return ((posted_tag ^ incoming) & mask) == 0;
-}
-
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -164,21 +166,9 @@ struct Worker::Request {
     std::vector<std::pair<Count, PooledBuf>> frag_stash;
 };
 
-struct Worker::Unexpected {
-    enum class Kind { eager, rts };
-    Kind kind = Kind::eager;
-    Tag tag = 0;
-    int src = -1;
-    Count total = 0;
-    PooledBuf payload;          // eager only
-    std::uint64_t sender_op = 0; // rts only
-    SimTime arrival = 0.0;
-    std::uint64_t msg_id = 0;   // sender's message id (from the packet)
-    SimTime post_vtime = -1.0;  // sender's virtual post time
-};
-
 Worker::Worker(netsim::Fabric& fabric, int endpoint)
-    : fabric_(fabric), params_(fabric.params()), ep_(endpoint) {
+    : fabric_(fabric), params_(fabric.params()), ep_(endpoint),
+      shards_(static_cast<std::size_t>(fabric.size())) {
     // Dump source for the post-mortem flight recorder. The callback is
     // invoked by *other* triggers, so it must try_lock: if this worker is
     // busy (or is itself mid-trigger) its state is reported as busy rather
@@ -201,7 +191,10 @@ Worker::~Worker() {
     // so metrics snapshots (and the BENCH_*.json artifacts) aggregate every
     // worker that ever lived, not just the ones still alive at dump time.
     MetricsRegistry& m = metrics();
-    const WorkerStats& s = stats_;
+    WorkerStats s = stats_;
+    s.duplicates_suppressed += adm_dups_.load(std::memory_order_relaxed);
+    s.corruption_detected += adm_corruption_.load(std::memory_order_relaxed);
+    s.acks_sent += adm_acks_sent_.load(std::memory_order_relaxed);
     m.add("worker", "eager_sends", s.eager_sends);
     m.add("worker", "rndv_sends", s.rndv_sends);
     m.add("worker", "rndv_rdma", s.rndv_rdma);
@@ -243,6 +236,13 @@ void Worker::complete_locked(Request& rq, Status st, Count len, Tag sender_tag) 
     rq.comp.sender_tag = sender_tag;
     rq.comp.vtime = clock_.now();
     rq.comp.msg_id = rq.msg_id;
+    {
+        // Publish to the completion registry so is_complete()/
+        // take_completion() never need the protocol mutex. Lock order is
+        // always mutex_ -> comp_mutex_, never the reverse.
+        const std::lock_guard<std::mutex> ck(comp_mutex_);
+        completed_[rq.id] = rq.comp;
+    }
     // Completion may fire from ack/timer context where no scope is open;
     // the explicit scope pins the event to the right message either way.
     const trace::MsgScope msg_scope(rq.msg_id);
@@ -322,36 +322,48 @@ void Worker::send_packet_locked(netsim::Packet&& pkt, SimTime ready,
     pending_tx_.emplace(seq, std::move(ptx));
 }
 
-bool Worker::admit_packet_locked(netsim::Packet& pkt) {
-    // Progress runs outside any message scope; the packet knows its owner.
-    const trace::MsgScope msg_scope(pkt.msg_id);
-    if (pkt.kind == kAck) {
-        handle_ack_locked(pkt);
-        return false;
-    }
+bool Worker::admit_data_packet(netsim::Packet& pkt) {
     if (pkt.link_seq == 0) return true; // unnumbered: reliability off
-    refresh_reliable_locked();
-    clock_.observe(pkt.arrival);
+    // Admission context holds no lock but the per-peer shard's: CRC
+    // verification (the expensive part — it walks the whole payload) and
+    // duplicate suppression must not stall senders/completion-checkers
+    // waiting on the protocol mutex. Virtual timestamps come from the
+    // packet's own arrival time, the value the clock would observe anyway.
+    const trace::MsgScope msg_scope(pkt.msg_id);
     if (packet_crc(pkt) != pkt.crc) {
         // Corrupted in flight: discard without ack; the sender retransmits.
-        ++stats_.corruption_detected;
-        trace::instant("ucx", "crc_drop", clock_.now(), "seq", pkt.link_seq);
+        adm_corruption_.fetch_add(1, std::memory_order_relaxed);
+        trace::instant("ucx", "crc_drop", pkt.arrival, "seq", pkt.link_seq);
         if (flight::enabled()) {
-            flight::trigger("crc_failure", pkt.msg_id, clock_.now(),
-                            flight_token_,
-                            [this](std::FILE* out) { dump_state_locked(out); });
+            flight::trigger("crc_failure", pkt.msg_id, pkt.arrival,
+                            flight_token_, [this](std::FILE* out) {
+                                const std::unique_lock<std::mutex> lock(
+                                    mutex_, std::try_to_lock);
+                                if (!lock.owns_lock()) {
+                                    std::fprintf(out,
+                                                 "<busy: worker mutex held>\n");
+                                    return;
+                                }
+                                dump_state_locked(out);
+                            });
         }
         return false;
     }
-    if (!seen_[pkt.src].insert(pkt.link_seq).second) {
+    PeerShard& shard =
+        shards_[static_cast<std::size_t>(pkt.src) % shards_.size()];
+    bool dup = false;
+    {
+        const std::lock_guard<std::mutex> sk(shard.mu);
+        dup = !shard.seen.insert(pkt.link_seq).second;
+    }
+    if (dup) {
         // Duplicate (fault-injected, or a retransmit whose original ack was
         // lost): suppress, but re-ack so the sender stops retrying.
-        ++stats_.duplicates_suppressed;
-        trace::instant("ucx", "dup_drop", clock_.now(), "seq", pkt.link_seq);
-        send_ack_locked(pkt);
+        adm_dups_.fetch_add(1, std::memory_order_relaxed);
+        trace::instant("ucx", "dup_drop", pkt.arrival, "seq", pkt.link_seq);
+        send_dup_ack(pkt);
         return false;
     }
-    if (pkt.needs_ack) send_ack_locked(pkt);
     return true;
 }
 
@@ -366,6 +378,22 @@ void Worker::send_ack_locked(const netsim::Packet& pkt) {
     ++stats_.acks_sent;
     trace::instant("ucx", "ack_send", clock_.now(), "seq", pkt.link_seq);
     fabric_.transmit_control(std::move(ack), clock_.now());
+}
+
+void Worker::send_dup_ack(const netsim::Packet& pkt) {
+    // Admission context: no protocol lock, so the ack is timed off the
+    // duplicate's arrival (the instant the receiver saw it) instead of the
+    // clock, which is not readable here.
+    netsim::Packet ack;
+    ack.src = ep_;
+    ack.dst = pkt.src;
+    ack.kind = kAck;
+    ack.header = encode_header(AckHeader{pkt.link_seq});
+    ack.msg_id = pkt.msg_id;
+    ack.crc = packet_crc(ack);
+    adm_acks_sent_.fetch_add(1, std::memory_order_relaxed);
+    trace::instant("ucx", "ack_send", pkt.arrival, "seq", pkt.link_seq);
+    fabric_.transmit_control(std::move(ack), pkt.arrival);
 }
 
 void Worker::handle_ack_locked(const netsim::Packet& pkt) {
@@ -402,12 +430,8 @@ void Worker::fail_request_locked(RequestId id, Status st) {
         rndv_sends_.erase(rq.op_id);
         rndv_recvs_.erase(rq.op_id);
     }
-    for (auto p = posted_recvs_.begin(); p != posted_recvs_.end(); ++p) {
-        if (*p == id) {
-            posted_recvs_.erase(p);
-            break;
-        }
-    }
+    if (rq.kind == Request::Kind::recv)
+        matcher_.cancel_posted(id, rq.tag, rq.mask);
     for (auto p = pending_tx_.begin(); p != pending_tx_.end();) {
         p = (p->second.owner == id) ? pending_tx_.erase(p) : std::next(p);
     }
@@ -641,22 +665,27 @@ RequestId Worker::tag_recv(Tag tag, Tag mask, BufferDesc desc) {
     rq.desc = std::move(desc);
     requests_.emplace(id, std::move(rq_owner));
 
-    // Search the unexpected queue in arrival order.
-    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-        if (!tag_matches(tag, mask, it->tag)) continue;
-        Unexpected u = std::move(*it);
-        unexpected_.erase(it);
-        rq.msg_id = u.msg_id;
-        rq.post_vtime = u.post_vtime;
-        if (u.kind == Unexpected::Kind::eager) {
-            match_eager_locked(rq, u.tag, std::move(u.payload), u.arrival);
+    // Earliest-arrived unexpected message accepted by (tag, mask), if any.
+    if (auto u = matcher_.take_unexpected(tag, mask)) {
+        note_unexpected_dwell_locked(*u);
+        rq.msg_id = u->msg_id;
+        rq.post_vtime = u->post_vtime;
+        if (u->kind == UnexpectedMsg::Kind::eager) {
+            match_eager_locked(rq, u->tag, std::move(u->payload), u->arrival);
         } else {
-            match_rts_locked(rq, u.tag, u.src, u.total, u.sender_op, u.arrival);
+            match_rts_locked(rq, u->tag, u->src, u->total, u->sender_op,
+                             u->arrival);
         }
         return id;
     }
-    posted_recvs_.push_back(id);
+    matcher_.post_recv(id, tag, mask);
     return id;
+}
+
+void Worker::note_unexpected_dwell_locked(const UnexpectedMsg& u) {
+    const SimTime now = clock_.now();
+    const SimTime dwell_us = now > u.arrival ? now - u.arrival : 0.0;
+    unexpected_dwell_hist().record(static_cast<std::uint64_t>(dwell_us * 1000.0));
 }
 
 void Worker::match_eager_locked(Request& rq, Tag sender_tag, PooledBuf&& payload,
@@ -766,20 +795,42 @@ void Worker::send_cts_locked(Request& rq, int src, std::uint64_t sender_op) {
 // Progress engine
 
 bool Worker::progress() {
+    // Per-worker serialization: exactly one thread drains this endpoint at
+    // a time, which keeps packet handling in arrival order; a concurrent
+    // caller (a rank thread helping a peer) skips instead of blocking.
+    bool expected = false;
+    if (!progress_busy_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acquire))
+        return false;
     bool did_work = false;
     while (true) {
         auto pkt = fabric_.poll(ep_);
         if (!pkt) break;
-        const std::lock_guard<std::mutex> lock(mutex_);
         did_work = true;
-        // The reliability filter may consume the packet (ack / duplicate /
-        // CRC failure) before it reaches the protocol state machines.
-        if (admit_packet_locked(*pkt)) handle_packet_locked(std::move(*pkt));
+        if (pkt->kind == kAck) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const trace::MsgScope msg_scope(pkt->msg_id);
+            handle_ack_locked(*pkt);
+            continue;
+        }
+        // The reliability filter may consume the packet (duplicate / CRC
+        // failure) before it reaches the protocol state machines — without
+        // touching the protocol mutex.
+        if (!admit_data_packet(*pkt)) continue;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const trace::MsgScope msg_scope(pkt->msg_id);
+        if (pkt->link_seq != 0) {
+            refresh_reliable_locked();
+            clock_.observe(pkt->arrival);
+            if (pkt->needs_ack) send_ack_locked(*pkt);
+        }
+        handle_packet_locked(std::move(*pkt));
     }
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         did_work = fire_timers_locked() || did_work;
     }
+    progress_busy_.store(false, std::memory_order_release);
     return did_work;
 }
 
@@ -797,14 +848,9 @@ void Worker::handle_packet_locked(netsim::Packet&& pkt) {
 }
 
 Worker::Request* Worker::find_posted_locked(Tag tag) {
-    for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
-        auto& rq = *requests_.at(*it);
-        if (tag_matches(rq.tag, rq.mask, tag)) {
-            posted_recvs_.erase(it);
-            return &rq;
-        }
-    }
-    return nullptr;
+    const auto id = matcher_.match_posted(tag);
+    if (!id) return nullptr;
+    return requests_.at(*id).get();
 }
 
 void Worker::handle_eager_locked(netsim::Packet&& pkt) {
@@ -815,8 +861,8 @@ void Worker::handle_eager_locked(netsim::Packet&& pkt) {
         match_eager_locked(*rq, h.tag, std::move(pkt.payload), pkt.arrival);
         return;
     }
-    Unexpected u;
-    u.kind = Unexpected::Kind::eager;
+    UnexpectedMsg u;
+    u.kind = UnexpectedMsg::Kind::eager;
     u.tag = h.tag;
     u.src = pkt.src;
     u.total = h.total;
@@ -825,7 +871,7 @@ void Worker::handle_eager_locked(netsim::Packet&& pkt) {
     u.msg_id = pkt.msg_id;
     u.post_vtime = pkt.post_vtime;
     ++stats_.unexpected_msgs;
-    unexpected_.push_back(std::move(u));
+    matcher_.add_unexpected(std::move(u));
 }
 
 void Worker::handle_rts_locked(netsim::Packet&& pkt) {
@@ -836,8 +882,8 @@ void Worker::handle_rts_locked(netsim::Packet&& pkt) {
         match_rts_locked(*rq, h.tag, pkt.src, h.total, h.sender_op, pkt.arrival);
         return;
     }
-    Unexpected u;
-    u.kind = Unexpected::Kind::rts;
+    UnexpectedMsg u;
+    u.kind = UnexpectedMsg::Kind::rts;
     u.tag = h.tag;
     u.src = pkt.src;
     u.total = h.total;
@@ -846,7 +892,7 @@ void Worker::handle_rts_locked(netsim::Packet&& pkt) {
     u.msg_id = pkt.msg_id;
     u.post_vtime = pkt.post_vtime;
     ++stats_.unexpected_msgs;
-    unexpected_.push_back(std::move(u));
+    matcher_.add_unexpected(std::move(u));
 }
 
 void Worker::handle_cts_locked(netsim::Packet&& pkt) {
@@ -1092,61 +1138,61 @@ void Worker::handle_frag_locked(netsim::Packet&& pkt) {
 // Completion / probe API
 
 bool Worker::is_complete(RequestId id) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = requests_.find(id);
-    return it != requests_.end() && it->second->done;
+    // Registry-only read: completion polling never contends with the
+    // protocol mutex (a rank thread spinning in wait() does not stall a
+    // peer thread progressing this worker).
+    const std::lock_guard<std::mutex> lock(comp_mutex_);
+    return completed_.count(id) != 0;
 }
 
 Completion Worker::take_completion(RequestId id) {
+    Completion comp;
+    {
+        const std::lock_guard<std::mutex> lock(comp_mutex_);
+        const auto it = completed_.find(id);
+        assert(it != completed_.end());
+        comp = it->second;
+        completed_.erase(it);
+    }
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = requests_.find(id);
-    assert(it != requests_.end() && it->second->done);
-    const Completion comp = it->second->comp;
-    requests_.erase(it);
+    requests_.erase(id);
     return comp;
 }
 
 bool Worker::cancel_recv(RequestId id) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
-        if (*it == id) {
-            posted_recvs_.erase(it);
-            requests_.erase(id);
-            return true;
-        }
-    }
-    return false;
+    const auto it = requests_.find(id);
+    if (it == requests_.end() || it->second->done) return false;
+    if (!matcher_.cancel_posted(id, it->second->tag, it->second->mask))
+        return false;
+    requests_.erase(it);
+    return true;
 }
 
 std::optional<ProbeInfo> Worker::probe(Tag tag, Tag mask) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& u : unexpected_) {
-        if (tag_matches(tag, mask, u.tag)) {
-            return ProbeInfo{u.tag, u.total, u.src};
-        }
-    }
-    return std::nullopt;
+    const UnexpectedMsg* u = matcher_.peek_unexpected(tag, mask);
+    if (u == nullptr) return std::nullopt;
+    return ProbeInfo{u->tag, u->total, u->src};
 }
 
 std::optional<MessageHandle> Worker::mprobe(Tag tag, Tag mask) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-        if (!tag_matches(tag, mask, it->tag)) continue;
-        MessageHandle handle;
-        handle.id = next_op_id_++;
-        handle.info = ProbeInfo{it->tag, it->total, it->src};
-        mprobed_.emplace(handle.id, std::move(*it));
-        unexpected_.erase(it);
-        return handle;
-    }
-    return std::nullopt;
+    auto u = matcher_.take_unexpected(tag, mask);
+    if (!u) return std::nullopt;
+    note_unexpected_dwell_locked(*u);
+    MessageHandle handle;
+    handle.id = next_op_id_++;
+    handle.info = ProbeInfo{u->tag, u->total, u->src};
+    mprobed_.emplace(handle.id, std::move(*u));
+    return handle;
 }
 
 RequestId Worker::imrecv(const MessageHandle& handle, BufferDesc desc) {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = mprobed_.find(handle.id);
     if (it == mprobed_.end()) return kInvalidRequest;
-    Unexpected u = std::move(it->second);
+    UnexpectedMsg u = std::move(it->second);
     mprobed_.erase(it);
 
     const RequestId id = alloc_request_locked();
@@ -1159,7 +1205,7 @@ RequestId Worker::imrecv(const MessageHandle& handle, BufferDesc desc) {
     rq.msg_id = u.msg_id;
     rq.post_vtime = u.post_vtime;
     requests_.emplace(id, std::move(rq_owner));
-    if (u.kind == Unexpected::Kind::eager) {
+    if (u.kind == UnexpectedMsg::Kind::eager) {
         match_eager_locked(rq, u.tag, std::move(u.payload), u.arrival);
     } else {
         match_rts_locked(rq, u.tag, u.src, u.total, u.sender_op, u.arrival);
@@ -1169,14 +1215,18 @@ RequestId Worker::imrecv(const MessageHandle& handle, BufferDesc desc) {
 
 WorkerStats Worker::stats() {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    WorkerStats s = stats_;
+    // Admission-context counters live outside the protocol mutex.
+    s.duplicates_suppressed += adm_dups_.load(std::memory_order_relaxed);
+    s.corruption_detected += adm_corruption_.load(std::memory_order_relaxed);
+    s.acks_sent += adm_acks_sent_.load(std::memory_order_relaxed);
+    return s;
 }
 
 bool Worker::idle() {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return requests_.empty() && unexpected_.empty() && mprobed_.empty() &&
-           rndv_sends_.empty() && rndv_recvs_.empty() && posted_recvs_.empty() &&
-           pending_tx_.empty();
+    return requests_.empty() && matcher_.empty() && mprobed_.empty() &&
+           rndv_sends_.empty() && rndv_recvs_.empty() && pending_tx_.empty();
 }
 
 void Worker::dump_state_locked(std::FILE* out) const {
@@ -1209,21 +1259,34 @@ void Worker::dump_state_locked(std::FILE* out) const {
                      static_cast<unsigned long long>(ptx.owner));
     }
     std::fprintf(out,
-                 "posted_recvs=%zu unexpected=%zu mprobed=%zu rndv_sends=%zu "
-                 "rndv_recvs=%zu\n",
-                 posted_recvs_.size(), unexpected_.size(), mprobed_.size(),
-                 rndv_sends_.size(), rndv_recvs_.size());
-    for (const auto& [src, seqs] : seen_) {
-        std::fprintf(out, "peer %d: %zu delivered link_seqs\n", src,
-                     seqs.size());
+                 "matcher=%s posted_recvs=%zu unexpected=%zu mprobed=%zu "
+                 "rndv_sends=%zu rndv_recvs=%zu\n",
+                 matcher_.mode() == TagMatcher::Mode::hashed ? "hashed"
+                                                             : "linear",
+                 matcher_.posted_size(), matcher_.unexpected_size(),
+                 mprobed_.size(), rndv_sends_.size(), rndv_recvs_.size());
+    for (std::size_t src = 0; src < shards_.size(); ++src) {
+        const PeerShard& shard = shards_[src];
+        // Shard mutexes are leaves (never held while acquiring another
+        // lock), so taking them under the protocol mutex cannot deadlock.
+        const std::lock_guard<std::mutex> sk(shard.mu);
+        if (shard.seen.empty()) continue;
+        std::fprintf(out, "peer %zu: %zu delivered link_seqs\n", src,
+                     shard.seen.size());
     }
     std::fprintf(out,
                  "stats: retransmits=%llu dups=%llu crc=%llu acks=%llu/%llu "
                  "timeouts=%llu\n",
                  static_cast<unsigned long long>(stats_.retransmits),
-                 static_cast<unsigned long long>(stats_.duplicates_suppressed),
-                 static_cast<unsigned long long>(stats_.corruption_detected),
-                 static_cast<unsigned long long>(stats_.acks_sent),
+                 static_cast<unsigned long long>(
+                     stats_.duplicates_suppressed +
+                     adm_dups_.load(std::memory_order_relaxed)),
+                 static_cast<unsigned long long>(
+                     stats_.corruption_detected +
+                     adm_corruption_.load(std::memory_order_relaxed)),
+                 static_cast<unsigned long long>(
+                     stats_.acks_sent +
+                     adm_acks_sent_.load(std::memory_order_relaxed)),
                  static_cast<unsigned long long>(stats_.acks_received),
                  static_cast<unsigned long long>(stats_.timeouts));
 }

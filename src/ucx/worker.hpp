@@ -14,11 +14,23 @@
 // Messages with multiple memory regions use scatter-gather descriptors and
 // pay a per-entry NIC cost (UCP_DATATYPE_IOV equivalent).
 //
-// Thread-safety: each worker has one mutex; different workers may be
-// progressed concurrently from different rank threads, and the fabric is
-// itself thread-safe.
+// Tag matching is delegated to TagMatcher (ucx/matcher.hpp): hashed
+// mask-group buckets by default, the seed's linear scans under
+// MPICD_TAG_MATCH=linear. See docs/MATCHING.md.
+//
+// Thread-safety: the protocol state machines run under one mutex, but the
+// hot cross-thread paths are finely locked so rank threads driving their
+// own progress() do not serialize on it:
+//  - progress() itself is serialized per worker by an atomic busy flag
+//    (a concurrent caller returns immediately), which also keeps packet
+//    admission in arrival order;
+//  - inbound CRC verification and duplicate suppression run outside the
+//    main mutex against per-peer shards;
+//  - completion records live in a separate registry, so is_complete()/
+//    take_completion() never contend with the protocol mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -35,15 +47,10 @@
 #include "netsim/fabric.hpp"
 #include "ucx/datatype.hpp"
 #include "ucx/engine.hpp"
+#include "ucx/matcher.hpp"
 #include "ucx/wire.hpp"
 
 namespace mpicd::ucx {
-
-using RequestId = std::uint64_t;
-constexpr RequestId kInvalidRequest = 0;
-
-// Tag type: full 64 bits; the p2p layer encodes (context, source, user tag).
-using Tag = std::uint64_t;
 
 struct Completion {
     Status status = Status::success;
@@ -117,12 +124,22 @@ public:
 
     // Drain the endpoint inbox, advance protocol state machines and fire
     // any due reliable-delivery timers (retransmit / timeout).
-    // Returns true if any packet was processed or timer fired.
+    // Returns true if any packet was processed or timer fired. Serialized
+    // per worker: a call that finds another thread already progressing
+    // this worker returns false immediately instead of blocking, so rank
+    // threads can opportunistically help peers without contending.
     bool progress();
+
+    // True while some thread is inside progress() on this worker. Used by
+    // Universe::escalate_timers to refuse a virtual-time jump when a rank
+    // thread may still be holding undelivered packets.
+    [[nodiscard]] bool progress_active() const noexcept {
+        return progress_busy_.load(std::memory_order_acquire);
+    }
 
     // Earliest pending virtual-time timer (retransmit deadline or
     // receiver-side operation watchdog); +infinity when none. Used by
-    // Universe::progress_all to jump virtual time when the fabric is
+    // Universe::progress to jump virtual time when the fabric is
     // quiescent so a lost packet can never stall the simulation.
     [[nodiscard]] SimTime next_timer();
     // Move this worker's clock forward to at least `t` (timer escalation).
@@ -149,9 +166,13 @@ public:
     // Snapshot of the protocol counters.
     [[nodiscard]] WorkerStats stats();
 
+    // Which matching engine this worker runs (fixed at construction).
+    [[nodiscard]] TagMatcher::Mode match_mode() const noexcept {
+        return matcher_.mode();
+    }
+
 private:
     struct Request;
-    struct Unexpected;
     struct PendingSend;
 
     RequestId alloc_request_locked();
@@ -172,11 +193,15 @@ private:
     void send_packet_locked(netsim::Packet&& pkt, SimTime ready, Count wire_bytes,
                             Count sg_entries, int rail, bool control,
                             Request* owner);
-    // Inbound filter: handles ACKs, verifies CRC, suppresses duplicates
-    // and acknowledges. Returns false when the packet was consumed.
-    bool admit_packet_locked(netsim::Packet& pkt);
+    // Inbound filter for numbered data packets: verifies CRC and
+    // suppresses duplicates against the per-peer shard — WITHOUT taking
+    // the protocol mutex. Returns false when the packet was consumed.
+    bool admit_data_packet(netsim::Packet& pkt);
     void handle_ack_locked(const netsim::Packet& pkt);
     void send_ack_locked(const netsim::Packet& pkt);
+    // Re-ack a suppressed duplicate from admission context (no protocol
+    // lock held; the ack is timed off the duplicate's arrival).
+    void send_dup_ack(const netsim::Packet& pkt);
     // Fire due retransmit timers and operation watchdogs; returns true if
     // anything fired.
     bool fire_timers_locked();
@@ -194,6 +219,8 @@ private:
 
     Request* find_posted_locked(Tag tag);
     void send_cts_locked(Request& rq, int src, std::uint64_t sender_op);
+    // Record how long an unexpected message waited for its receive.
+    void note_unexpected_dwell_locked(const UnexpectedMsg& u);
 
     // Flight-recorder dump of this worker's protocol state (in-flight
     // request table, retransmit queue, per-peer dedup/rendezvous state).
@@ -212,12 +239,10 @@ private:
     std::uint64_t next_op_id_ = 1;
 
     std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
-    // Posted-but-unmatched receives, in post order.
-    std::deque<RequestId> posted_recvs_;
-    // Unexpected messages, in arrival order.
-    std::deque<Unexpected> unexpected_;
+    // Posted-but-unmatched receives and unexpected messages.
+    TagMatcher matcher_;
     // Matched-by-mprobe messages awaiting imrecv.
-    std::unordered_map<std::uint64_t, Unexpected> mprobed_;
+    std::unordered_map<std::uint64_t, UnexpectedMsg> mprobed_;
     // Sender-side rendezvous operations waiting for CTS, by sender op id.
     std::unordered_map<std::uint64_t, RequestId> rndv_sends_;
     // Receiver-side operations waiting for FIN/fragments, by receiver op id.
@@ -245,8 +270,29 @@ private:
         RequestId owner = kInvalidRequest;
     };
     std::unordered_map<std::uint64_t, PendingTx> pending_tx_;
-    // Per-source set of delivered link_seq values (duplicate suppression).
-    std::unordered_map<int, std::unordered_set<std::uint64_t>> seen_;
+
+    // Per-peer admission shard: the set of delivered link_seq values
+    // (duplicate suppression), guarded by its own mutex so inbound
+    // filtering never touches the protocol mutex. Leaf lock: never held
+    // while acquiring any other lock. A deque so elements never move.
+    struct PeerShard {
+        mutable std::mutex mu;
+        std::unordered_set<std::uint64_t> seen;
+    };
+    std::deque<PeerShard> shards_;
+    // Admission-context counters (outside the protocol mutex); folded into
+    // stats() snapshots.
+    std::atomic<std::uint64_t> adm_dups_{0};
+    std::atomic<std::uint64_t> adm_corruption_{0};
+    std::atomic<std::uint64_t> adm_acks_sent_{0};
+
+    // Completion registry: done requests by id. comp_mutex_ is only ever
+    // acquired after (or without) mutex_, never before it.
+    std::mutex comp_mutex_;
+    std::unordered_map<RequestId, Completion> completed_;
+
+    // progress() serialization (see above).
+    std::atomic<bool> progress_busy_{false};
 
     WorkerStats stats_;
     std::uint64_t flight_token_ = 0; // flight-recorder source registration

@@ -143,6 +143,75 @@ TEST_F(P2P, InvalidDestinationRejected) {
     EXPECT_EQ(rq.wait().status, Status::err_arg);
 }
 
+// --- Wire tag layout boundary regressions (the [16-bit ctx | 16-bit src |
+// 32-bit user tag] fields used to truncate silently; see docs/MATCHING.md).
+
+TEST_F(P2P, NegativeTagRejected) {
+    std::int32_t v = 0;
+    // A negative user tag would sign-extend / alias through the 32-bit
+    // user field; both directions must fail fast with err_arg.
+    EXPECT_EQ(uni.comm(0).isend_bytes(&v, 4, 1, -1).wait().status,
+              Status::err_arg);
+    EXPECT_EQ(uni.comm(1).irecv_bytes(&v, 4, 0, -7).wait().status,
+              Status::err_arg);
+    // kAnyTag is the sanctioned wildcard, not an error.
+    EXPECT_FALSE(uni.comm(1).iprobe(0, kAnyTag).has_value());
+}
+
+TEST_F(P2P, SourceOutOfRangeRejected) {
+    std::int32_t v = 0;
+    EXPECT_EQ(uni.comm(1).irecv_bytes(&v, 4, /*src=*/5, 0).wait().status,
+              Status::err_arg);
+    EXPECT_EQ(uni.comm(1).irecv_bytes(&v, 4, /*src=*/-2, 0).wait().status,
+              Status::err_arg);
+    EXPECT_FALSE(uni.comm(1).iprobe(/*src=*/99, 0).has_value());
+}
+
+TEST_F(P2P, MaxUserTagRoundTrip) {
+    // INT_MAX occupies all 31 value bits of the user field: must traverse
+    // encode -> wire -> decode unchanged.
+    constexpr int kTag = std::numeric_limits<int>::max();
+    std::int32_t v = 4242, got = 0;
+    auto rr = uni.comm(1).irecv_bytes(&got, 4, 0, kTag);
+    auto rs = uni.comm(0).isend_bytes(&v, 4, 1, kTag);
+    const auto st = rr.wait();
+    EXPECT_EQ(st.status, Status::success);
+    EXPECT_EQ(st.tag, kTag);
+    EXPECT_EQ(got, 4242);
+    (void)rs.wait();
+}
+
+TEST_F(P2P, OversizedWorldRejectedAtConstruction) {
+    // Rank 70000 would alias to rank 70000 - 65536 = 4464 in the 16-bit
+    // source field; the communicator must refuse rather than truncate.
+    Communicator big(uni, uni.worker(0), /*rank=*/70000, /*size=*/70001,
+                     /*context=*/9);
+    EXPECT_EQ(big.status(), Status::err_arg);
+    std::int32_t v = 0;
+    EXPECT_EQ(big.isend_bytes(&v, 4, 0, 5).wait().status, Status::err_arg);
+    EXPECT_EQ(big.irecv_bytes(&v, 4, 0, 5).wait().status, Status::err_arg);
+    EXPECT_FALSE(big.iprobe(0, 5).has_value());
+
+    Communicator neg(uni, uni.worker(0), /*rank=*/-1, /*size=*/2, 9);
+    EXPECT_EQ(neg.status(), Status::err_arg);
+    Communicator empty(uni, uni.worker(0), /*rank=*/0, /*size=*/0, 9);
+    EXPECT_EQ(empty.status(), Status::err_arg);
+}
+
+TEST_F(P2P, WorldSizeBoundaryAccepted) {
+    // 65536 ranks is exactly addressable (source field 0..65535): the
+    // boundary itself is legal, one past it is not.
+    Communicator edge(uni, uni.worker(0), /*rank=*/65535, /*size=*/65536, 9);
+    EXPECT_EQ(edge.status(), Status::success);
+    Communicator over(uni, uni.worker(0), /*rank=*/0, /*size=*/65537, 9);
+    EXPECT_EQ(over.status(), Status::err_arg);
+    // Decode of a wire tag carrying the max source rank round-trips.
+    const ucx::Tag t = (ucx::Tag{0x7} << 48) | (ucx::Tag{65535} << 32) |
+                       ucx::Tag{0x12345678};
+    EXPECT_EQ(decode_tag_source(t), 65535);
+    EXPECT_EQ(decode_tag_user(t), 0x12345678);
+}
+
 TEST_F(P2P, ProbeThenRecv) {
     const ByteVec src = test::pattern_bytes(96);
     auto rs = uni.comm(0).isend_bytes(src.data(), 96, 1, 33);

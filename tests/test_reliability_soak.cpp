@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/pool.hpp"
@@ -208,6 +210,76 @@ TEST(ReliabilitySoak, SameSeedSameTimeline) {
         EXPECT_EQ(a[i].status, b[i].status) << i;
         EXPECT_EQ(a[i].vtime, b[i].vtime) << i;
     }
+}
+
+TEST(ReliabilitySoak, ConcurrentManyRankManyTagLossy) {
+    // Concurrency soak for the hashed tag matcher: N ranks, each driven by
+    // its own thread through the communicator API (Request::wait ->
+    // Universe::progress(rank), so every thread progresses its own worker
+    // and occasionally helps peers). Unique per-message tags keep the
+    // pairing unambiguous even for the ANY_SOURCE receives, so the test
+    // can assert exact payload identity while threads race through the
+    // matcher, the sharded admission path and the completion registry.
+    // This is the TSan target of tools/run_faults_matrix.sh.
+    constexpr int kRanks = 6;
+    constexpr int kMsgs = 24;
+    FaultConfig cfg;
+    cfg.seed = 0xC0C0;
+    cfg.drop = 0.02;
+    cfg.corrupt = 0.02;
+    cfg.dup = 0.02;
+    Universe uni(kRanks, soak_params(), cfg);
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kRanks);
+    for (int rank = 0; rank < kRanks; ++rank) {
+        threads.emplace_back([&, rank] {
+            auto& comm = uni.comm(rank);
+            const int right = (rank + 1) % kRanks;
+            const int left = (rank + kRanks - 1) % kRanks;
+            // Deep tag space: every message its own tag -> real bucket
+            // depth in the matcher; every 3rd receive is ANY_SOURCE so
+            // wildcard groups race with the exact hash buckets.
+            std::vector<ByteVec> dsts(kMsgs), srcs(kMsgs);
+            std::vector<p2p::Request> reqs;
+            reqs.reserve(2 * kMsgs);
+            for (int i = 0; i < kMsgs; ++i) {
+                const std::size_t len = (i % 2 == 0)
+                                            ? 64 + static_cast<std::size_t>(i % 7) * 96
+                                            : 2048 + static_cast<std::size_t>(i % 5) * 512;
+                dsts[static_cast<std::size_t>(i)].resize(len);
+                const int src_filter = (i % 3 == 0) ? p2p::kAnySource : left;
+                reqs.push_back(comm.irecv_bytes(
+                    dsts[static_cast<std::size_t>(i)].data(), Count(len),
+                    src_filter, 100 + i));
+            }
+            for (int i = 0; i < kMsgs; ++i) {
+                const std::size_t len = (i % 2 == 0)
+                                            ? 64 + static_cast<std::size_t>(i % 7) * 96
+                                            : 2048 + static_cast<std::size_t>(i % 5) * 512;
+                srcs[static_cast<std::size_t>(i)] = test::pattern_bytes(
+                    len, static_cast<unsigned>(rank) * 1000u +
+                             static_cast<unsigned>(i));
+                reqs.push_back(comm.isend_bytes(
+                    srcs[static_cast<std::size_t>(i)].data(), Count(len),
+                    right, 100 + i));
+            }
+            if (p2p::wait_all(reqs) != Status::success) failures.fetch_add(1);
+            // Every receive pairs with the left neighbour's i-th send.
+            for (int i = 0; i < kMsgs; ++i) {
+                const std::size_t len = dsts[static_cast<std::size_t>(i)].size();
+                const ByteVec want = test::pattern_bytes(
+                    len, static_cast<unsigned>(left) * 1000u +
+                             static_cast<unsigned>(i));
+                if (dsts[static_cast<std::size_t>(i)] != want) failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    for (int r = 0; r < kRanks; ++r)
+        EXPECT_TRUE(uni.worker(r).idle()) << "rank " << r << " not quiescent";
 }
 
 } // namespace

@@ -7,6 +7,12 @@
 # (injected delay/drop legitimately changes arrival times):
 #   - test_netsim  : asserts modeled latencies to the microsecond
 #   - test_engine  : compares timing between engine variants
+#   - bench_compare: gates bench throughput/latency against baselines
+#     recorded on a lossless fabric; retransmits and injected delay shift
+#     those numbers legitimately. The benches themselves still run in the
+#     lossy legs (their built-in correctness asserts — matched pairings,
+#     wire-identical ablation — must hold under faults); only the
+#     performance gate is restricted to the faults-off leg.
 # Everything else must pass unmodified — that is the point of the sweep: the
 # reliable-delivery protocol makes packet loss invisible to correctness.
 #
@@ -15,6 +21,13 @@
 # configuration through them: the pooled hot path recycles and shares
 # buffers across threads, and ASan turns any use-after-release or
 # double-release of a slab into a hard failure. MPICD_SKIP_ASAN=1 skips it.
+#
+# A ThreadSanitizer leg (-DMPICD_SANITIZE=thread) then replays the
+# matcher-heavy tests — test_matcher's randomized differential sweeps, the
+# test_ucx conformance set and the multi-threaded many-rank soak — so the
+# finely-locked progress path (busy-flag serialization, sharded admission,
+# completion registry) is checked for data races, not just correctness.
+# MPICD_SKIP_TSAN=1 skips it.
 #
 # Usage: tools/run_faults_matrix.sh [build-dir] (default: build)
 set -euo pipefail
@@ -26,7 +39,7 @@ if [[ ! -f "$BUILD_DIR/CTestTestfile.cmake" ]]; then
 fi
 
 SEEDS=(1 42 999983)
-EXCLUDE='test_netsim|test_engine'
+EXCLUDE='test_netsim|test_engine|bench_compare'
 JOBS=${CTEST_PARALLEL_LEVEL:-4}
 
 # --repeat until-pass:2 absorbs the pre-existing scheduler-dependent flake in
@@ -71,6 +84,28 @@ if [[ "${MPICD_SKIP_ASAN:-0}" != "1" ]]; then
           --repeat until-pass:2 -R "$ASAN_TESTS"
 else
     echo "=== asan leg: skipped (MPICD_SKIP_ASAN=1) ==="
+fi
+
+if [[ "${MPICD_SKIP_TSAN:-0}" != "1" ]]; then
+    TSAN_DIR=${BUILD_DIR}-tsan
+    TSAN_TESTS='test_ucx|test_matcher|test_reliability_soak'
+    echo "=== tsan leg: configuring $TSAN_DIR ==="
+    cmake -B "$TSAN_DIR" -S . \
+          -DMPICD_SANITIZE=thread \
+          -DMPICD_BUILD_BENCH=OFF \
+          -DMPICD_BUILD_EXAMPLES=OFF >/dev/null
+    cmake --build "$TSAN_DIR" -j "$JOBS" --target \
+          test_ucx test_matcher test_reliability_soak
+    echo "=== tsan leg: matcher + threaded soak under ThreadSanitizer ==="
+    MPICD_FAULT_SEED=42 \
+    MPICD_FAULT_DROP=0.01 \
+    MPICD_FAULT_DUP=0.01 \
+    MPICD_FAULT_REORDER=0.01 \
+    MPICD_FAULT_CORRUPT=0.01 \
+    ctest --test-dir "$TSAN_DIR" -j "$JOBS" --output-on-failure \
+          --repeat until-pass:2 -R "$TSAN_TESTS"
+else
+    echo "=== tsan leg: skipped (MPICD_SKIP_TSAN=1) ==="
 fi
 
 echo "=== fault matrix: all passes green ==="
