@@ -24,6 +24,11 @@ std::atomic<std::uint64_t>& bytes_delivered() noexcept {
     return v;
 }
 
+std::atomic<std::uint64_t>& bytes_dma() noexcept {
+    static std::atomic<std::uint64_t> v{0};
+    return v;
+}
+
 } // namespace datapath
 
 // ---------------------------------------------------------------------------
@@ -249,6 +254,8 @@ void append_pool_metrics(std::vector<MetricSample>& out) {
                    datapath::bytes_copied().load(std::memory_order_relaxed)});
     out.push_back({"datapath", "bytes_delivered",
                    datapath::bytes_delivered().load(std::memory_order_relaxed)});
+    out.push_back({"datapath", "bytes_dma",
+                   datapath::bytes_dma().load(std::memory_order_relaxed)});
 }
 
 void reset_pool_metrics() noexcept {
@@ -260,6 +267,7 @@ void reset_pool_metrics() noexcept {
     p.frees_.store(0, std::memory_order_relaxed);
     datapath::bytes_copied().store(0, std::memory_order_relaxed);
     datapath::bytes_delivered().store(0, std::memory_order_relaxed);
+    datapath::bytes_dma().store(0, std::memory_order_relaxed);
 }
 
 } // namespace mpicd

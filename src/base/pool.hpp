@@ -49,6 +49,10 @@ namespace datapath {
 
 [[nodiscard]] std::atomic<std::uint64_t>& bytes_copied() noexcept;
 [[nodiscard]] std::atomic<std::uint64_t>& bytes_delivered() noexcept;
+// Bytes moved region-to-region by the simulated NIC's scatter-gather DMA
+// (the zero-copy rendezvous path): no host CPU touches them, so they are
+// deliberately NOT part of bytes_copied / copy_amp.
+[[nodiscard]] std::atomic<std::uint64_t>& bytes_dma() noexcept;
 
 // One relaxed add per memcpy site / receive completion (same pattern as
 // the pack-path counters in base/stats.hpp).
@@ -61,6 +65,11 @@ inline void add_delivered(Count n) noexcept {
     if (n > 0)
         bytes_delivered().fetch_add(static_cast<std::uint64_t>(n),
                                     std::memory_order_relaxed);
+}
+inline void add_dma(Count n) noexcept {
+    if (n > 0)
+        bytes_dma().fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
 }
 
 } // namespace datapath

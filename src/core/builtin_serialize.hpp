@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/traits.hpp"
@@ -63,7 +64,10 @@ struct StagedHeaderSerialize {
 template <typename U>
 struct VectorPolicy {
     using Elem = std::vector<U>;
-    static_assert(std::is_trivially_copyable_v<U>);
+    // Wireable, not merely trivially copyable: std::pair elements (whose
+    // user-provided operator= defeats is_trivially_copyable) are bitwise-
+    // safe and must serialize the same way the fast path ships them.
+    static_assert(is_trivially_wireable_v<U>);
 
     static Count header_bytes(const Elem* /*buf*/, Count count) {
         return count * static_cast<Count>(sizeof(std::uint64_t));
@@ -74,17 +78,31 @@ struct VectorPolicy {
             lens[i] = buf[i].size() * sizeof(U);
     }
     // Receive side: the incoming lengths must match the pre-sized vectors
-    // (the receiver is required to know the sizes in advance).
+    // (the receiver is required to know the sizes in advance). Every length
+    // is bound-checked against the wire bytes before it is trusted: a
+    // corrupt or truncated header must surface as err_truncate, never as a
+    // resize/over-allocation driven by attacker-controlled wire data.
     static Status apply_header(Elem* buf, Count count, const ByteVec& hdr) {
+        if (hdr.size() <
+            static_cast<std::size_t>(count) * sizeof(std::uint64_t))
+            return Status::err_truncate;
         const auto* lens = reinterpret_cast<const std::uint64_t*>(hdr.data());
         for (Count i = 0; i < count; ++i) {
-            if (lens[i] != buf[i].size() * sizeof(U)) return Status::err_unpack;
+            if (lens[i] % sizeof(U) != 0) return Status::err_truncate;
+            if (lens[i] != buf[i].size() * sizeof(U)) return Status::err_truncate;
         }
         return Status::success;
     }
 };
 
+// Constrained so that e.g. CustomSerialize<std::vector<std::vector<int>>>
+// stays *incomplete* instead of hard-erroring in a static_assert — the
+// HasCustomSerialize concept (core/traits.hpp) must be able to evaluate to
+// false for element types that cannot be serialized this way. vector<bool>
+// is excluded because it has no contiguous element storage to expose as a
+// region.
 template <typename U>
+    requires(is_trivially_wireable_v<U> && !std::is_same_v<U, bool>)
 struct CustomSerialize<std::vector<U>>
     : StagedHeaderSerialize<std::vector<U>, VectorPolicy<U>> {
     using Base = StagedHeaderSerialize<std::vector<U>, VectorPolicy<U>>;
@@ -137,5 +155,100 @@ struct TrivialRegionSerialize {
         return Status::success;
     }
 };
+
+// --- std::basic_string<C>: byte length in-band, characters as one region.
+// The wire layout for count == 1 (one u64 length + one payload region) is
+// byte-identical to the fast path's two-entry size+payload IOV, which is
+// what makes MPICD_FAST_PATH=0 wire-compatible for strings.
+template <typename C>
+struct StringPolicy {
+    using Elem = std::basic_string<C>;
+    static_assert(std::is_trivially_copyable_v<C>);
+
+    static Count header_bytes(const Elem* /*buf*/, Count count) {
+        return count * static_cast<Count>(sizeof(std::uint64_t));
+    }
+    static void build_header(const Elem* buf, Count count, ByteVec& hdr) {
+        auto* lens = reinterpret_cast<std::uint64_t*>(hdr.data());
+        for (Count i = 0; i < count; ++i)
+            lens[i] = buf[i].size() * sizeof(C);
+    }
+    static Status apply_header(Elem* buf, Count count, const ByteVec& hdr) {
+        if (hdr.size() <
+            static_cast<std::size_t>(count) * sizeof(std::uint64_t))
+            return Status::err_truncate;
+        const auto* lens = reinterpret_cast<const std::uint64_t*>(hdr.data());
+        for (Count i = 0; i < count; ++i) {
+            if (lens[i] % sizeof(C) != 0) return Status::err_truncate;
+            if (lens[i] != buf[i].size() * sizeof(C)) return Status::err_truncate;
+        }
+        return Status::success;
+    }
+};
+
+template <typename C>
+    requires std::is_trivially_copyable_v<C>
+struct CustomSerialize<std::basic_string<C>>
+    : StagedHeaderSerialize<std::basic_string<C>, StringPolicy<C>> {
+    using Base = StagedHeaderSerialize<std::basic_string<C>, StringPolicy<C>>;
+    using State = typename Base::State;
+
+    static Status region_count(State&, std::basic_string<C>* /*buf*/, Count count,
+                               Count* n) {
+        *n = count;
+        return Status::success;
+    }
+    static Status regions(State&, std::basic_string<C>* buf, Count count, Count n,
+                          void** bases, Count* lens) {
+        if (n != count) return Status::err_region;
+        for (Count i = 0; i < count; ++i) {
+            bases[i] = buf[i].data();
+            lens[i] = static_cast<Count>(buf[i].size() * sizeof(C));
+        }
+        return Status::success;
+    }
+};
+
+// --- Fallback serializer for the fast path's MPICD_FAST_PATH=0 mode:
+// trivially *wireable* types (which includes std::pair / std::array shapes
+// that fail is_trivially_copyable on a technicality) sent as one zero-copy
+// region of raw object bytes. Wire bytes are identical to the enabled fast
+// path's CONTIG transfer — only the descriptor kind differs.
+template <typename T>
+struct WireFallbackSerialize {
+    static_assert(is_trivially_wireable_v<T>);
+    struct State {};
+    static constexpr bool inorder = false;
+
+    static Status init(const T*, Count, State&) { return Status::success; }
+    static Status packed_size(State&, const T*, Count, Count* size) {
+        *size = 0;
+        return Status::success;
+    }
+    static Status pack(State&, const T*, Count, Count, void*, Count, Count*) {
+        return Status::err_internal; // nothing to pack
+    }
+    static Status unpack(State&, T*, Count, Count, const void*, Count) {
+        return Status::err_internal;
+    }
+    static Status region_count(State&, T*, Count, Count* n) {
+        *n = 1;
+        return Status::success;
+    }
+    static Status regions(State&, T* buf, Count count, Count n, void** bases,
+                          Count* lens) {
+        if (n != 1) return Status::err_region;
+        bases[0] = buf;
+        lens[0] = count * static_cast<Count>(sizeof(T));
+        return Status::success;
+    }
+};
+
+// Committed datatype for a wireable T that has no CustomSerialize of its
+// own (cached per T, same lifetime rules as custom_datatype_of).
+template <typename T>
+[[nodiscard]] const CustomDatatype& wire_fallback_datatype_of() {
+    return detail::Adapter<T, WireFallbackSerialize<T>>::datatype();
+}
 
 } // namespace mpicd::core

@@ -12,6 +12,8 @@
 //    this per message; comparing both is instructive.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "base/bytes.hpp"
@@ -37,6 +39,37 @@ enum class CustomLowering {
 // per pack callback and fail every send with err_pack, so values <= 0
 // fall back to the default. Tests call this directly to cover the clamp.
 [[nodiscard]] Count custom_pack_frag_from_env();
+
+// --- Zero-serialization fast path (docs/API.md §7) -------------------------
+//
+// MPICD_FAST_PATH gates whether mpicd::send/recv route trivially-wireable
+// and contiguous-resizable types straight to CONTIG / two-entry IOV
+// transfers. Default ON; 0 restores the CustomSerialize lowering (wire
+// behavior byte-identical to the pre-fast-path library).
+
+// Cached process-wide switch (first use reads the environment). Benches
+// and tests flip it at runtime with set_fast_path().
+[[nodiscard]] bool fast_path_enabled() noexcept;
+void set_fast_path(bool on) noexcept;
+
+// Uncached env read behind fast_path_enabled(): values other than 0/1 are
+// clamped to the default (on) with a warn-once message, matching the other
+// MPICD_* knobs. Tests call this directly to cover the clamp.
+[[nodiscard]] bool fast_path_from_env();
+
+// fastpath/* counters in the MetricsRegistry: operations served per wire
+// class, payload bytes that bypassed the pack machinery, and the pack-plan
+// compilations / serializer lowerings that were skipped. References are
+// stable for the process lifetime (hot paths cache this struct).
+struct FastPathCounters {
+    std::atomic<std::uint64_t>& hits_trivial;      // CONTIG fast sends+recvs
+    std::atomic<std::uint64_t>& hits_resizable;    // two-entry IOV ops
+    std::atomic<std::uint64_t>& bytes_bypassed;    // payload bytes, no pack copy
+    std::atomic<std::uint64_t>& plan_compiles_avoided; // lowerings skipped
+    std::atomic<std::uint64_t>& fallback_ops;      // eligible ops run with knob off
+    std::atomic<std::uint64_t>& serializer_ops;    // NeedsSerializer dispatches
+};
+[[nodiscard]] FastPathCounters& fastpath_counters() noexcept;
 
 // --- Send side -------------------------------------------------------------
 

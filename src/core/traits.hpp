@@ -19,10 +19,19 @@
 //
 // custom_datatype_of<T>() erases the specialization into a CustomDatatype
 // usable with Communicator::{isend,irecv}_custom and the C API.
+//
+// On top of the serialization trait sits the compile-time *wire
+// classification* used by the zero-serialization fast path (docs/API.md §7):
+// every T falls into exactly one WireClass, and mpicd::send/recv
+// (p2p/api.hpp) statically route each class to the cheapest legal transfer.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <string>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "core/custom_type.hpp"
 
@@ -31,19 +40,110 @@ namespace mpicd::core {
 template <typename T>
 struct CustomSerialize; // specialize per type
 
-namespace detail {
+// ---------------------------------------------------------------------------
+// Wire classification (the unsafe_mpi observation: trivially-copyable
+// aggregates need no serialization at all — raw size + bytes suffice).
+
+enum class WireClass {
+    trivially_wireable,   // one CONTIG transfer of the object bytes
+    contiguous_resizable, // two-entry IOV: u64 payload length + payload
+    needs_serializer,     // CustomSerialize<T> (today's path)
+};
+
+// A type whose object representation can go on the wire verbatim. Beyond
+// std::is_trivially_copyable this excludes pointers (meaningless on the
+// remote side) and raw arrays (no assignable receive object), and
+// *includes* two formally-non-trivial but bitwise-safe shapes:
+// std::pair (its user-provided operator= defeats is_trivially_copyable)
+// and std::array, both recursively over their members.
+template <typename T>
+struct is_trivially_wireable
+    : std::bool_constant<std::is_trivially_copyable_v<T> &&
+                         !std::is_pointer_v<T> && !std::is_member_pointer_v<T> &&
+                         !std::is_array_v<T> && !std::is_void_v<T>> {};
+
+template <typename A, typename B>
+struct is_trivially_wireable<std::pair<A, B>>
+    : std::bool_constant<is_trivially_wireable<A>::value &&
+                         is_trivially_wireable<B>::value &&
+                         std::is_trivially_destructible_v<std::pair<A, B>>> {};
+
+template <typename U, std::size_t N>
+struct is_trivially_wireable<std::array<U, N>>
+    : std::bool_constant<is_trivially_wireable<U>::value> {};
 
 template <typename T>
-concept HasRegions = requires(typename CustomSerialize<T>::State& st, T* buf,
-                              Count count, Count* n, void** bases, Count* lens) {
-    { CustomSerialize<T>::region_count(st, buf, count, n) } -> std::same_as<Status>;
-    { CustomSerialize<T>::regions(st, buf, count, Count{}, bases, lens) }
-        -> std::same_as<Status>;
+inline constexpr bool is_trivially_wireable_v = is_trivially_wireable<T>::value;
+
+// wire_traits<T>::value — the WireClass of T. Only default-allocator
+// vectors/strings classify as contiguous_resizable (the fallback serializer
+// and the wire header are defined for exactly those); vector<bool> is a
+// bitset in disguise and has no contiguous element storage.
+template <typename T>
+struct wire_traits {
+    static constexpr WireClass value = is_trivially_wireable_v<T>
+                                           ? WireClass::trivially_wireable
+                                           : WireClass::needs_serializer;
+};
+
+template <typename U>
+struct wire_traits<std::vector<U>> {
+    static constexpr WireClass value =
+        (is_trivially_wireable_v<U> && !std::is_same_v<U, bool>)
+            ? WireClass::contiguous_resizable
+            : WireClass::needs_serializer;
+};
+
+template <typename C>
+struct wire_traits<std::basic_string<C>> {
+    static constexpr WireClass value = is_trivially_wireable_v<C>
+                                           ? WireClass::contiguous_resizable
+                                           : WireClass::needs_serializer;
 };
 
 template <typename T>
+inline constexpr WireClass wire_class_v = wire_traits<T>::value;
+
+// Concepts over the classification, used by mpicd::send/recv to pick the
+// transfer path at compile time.
+template <typename T>
+concept TriviallyWireable = wire_class_v<T> == WireClass::trivially_wireable;
+
+template <typename T>
+concept ContiguousResizable = wire_class_v<T> == WireClass::contiguous_resizable;
+
+// True when CustomSerialize<T> is specialized (complete) in this
+// translation unit — the specialization must be visible at the call site.
+template <typename T>
+concept HasCustomSerialize = requires { sizeof(CustomSerialize<T>); };
+
+template <typename T>
+concept NeedsSerializer = wire_class_v<T> == WireClass::needs_serializer;
+
+// Anything mpicd::send/recv can move: a wire-classified shape, or a type
+// with an explicit serializer.
+template <typename T>
+concept WireSendable =
+    TriviallyWireable<T> || ContiguousResizable<T> || HasCustomSerialize<T>;
+
+namespace detail {
+
+template <typename T, typename CS>
+concept HasRegionsCS = requires(typename CS::State& st, T* buf, Count count,
+                                Count* n, void** bases, Count* lens) {
+    { CS::region_count(st, buf, count, n) } -> std::same_as<Status>;
+    { CS::regions(st, buf, count, Count{}, bases, lens) } -> std::same_as<Status>;
+};
+
+template <typename T>
+concept HasRegions = HasRegionsCS<T, CustomSerialize<T>>;
+
+// Erases a CustomSerialize-shaped trait class CS into CustomDatatype
+// callbacks. CS defaults to the type's own specialization; the fast path's
+// MPICD_FAST_PATH=0 fallback substitutes WireFallbackSerialize<T> for
+// types that have no specialization of their own.
+template <typename T, typename CS = CustomSerialize<T>>
 class Adapter {
-    using CS = CustomSerialize<T>;
     using State = typename CS::State;
 
     static Status state_fn(void* /*context*/, const void* src, Count count,
@@ -72,7 +172,7 @@ class Adapter {
                           offset, src, src_size);
     }
     static Status region_count_fn(void* state, void* buf, Count count, Count* n) {
-        if constexpr (HasRegions<T>) {
+        if constexpr (HasRegionsCS<T, CS>) {
             return CS::region_count(*static_cast<State*>(state), static_cast<T*>(buf),
                                     count, n);
         } else {
@@ -82,7 +182,7 @@ class Adapter {
     }
     static Status region_fn(void* state, void* buf, Count count, Count n, void** bases,
                             Count* lens) {
-        if constexpr (HasRegions<T>) {
+        if constexpr (HasRegionsCS<T, CS>) {
             return CS::regions(*static_cast<State*>(state), static_cast<T*>(buf), count,
                                n, bases, lens);
         } else {
@@ -100,7 +200,7 @@ public:
             cb.query = query_fn;
             cb.pack = pack_fn;
             cb.unpack = unpack_fn;
-            if constexpr (HasRegions<T>) {
+            if constexpr (HasRegionsCS<T, CS>) {
                 cb.region_count = region_count_fn;
                 cb.region = region_fn;
             }

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "base/log.hpp"
 #include "base/trace.hpp"
+#include "core/traits.hpp"
 #include "p2p/dt_bridge.hpp"
 #include "p2p/universe.hpp"
 
@@ -177,6 +179,85 @@ Request Communicator::irecv_bytes(void* p, Count n, int src, int tag) {
     ucx::Tag t = 0, mask = 0;
     encode_recv_tag(src, tag, &t, &mask);
     return make_request(worker_.tag_recv(t, mask, ucx::make_contig_recv(p, n)));
+}
+
+// ---------------------------------------------------------------------------
+// Zero-serialization fast path (see docs/API.md §7).
+
+namespace {
+
+constexpr Count kSizedHeaderBytes =
+    static_cast<Count>(sizeof(std::uint64_t));
+
+void note_fastpath(core::WireClass cls, Count payload_bytes, bool send) {
+    auto& fp = core::fastpath_counters();
+    if (cls == core::WireClass::trivially_wireable)
+        fp.hits_trivial.fetch_add(1, std::memory_order_relaxed);
+    else
+        fp.hits_resizable.fetch_add(1, std::memory_order_relaxed);
+    fp.bytes_bypassed.fetch_add(static_cast<std::uint64_t>(payload_bytes),
+                                std::memory_order_relaxed);
+    // One lowering (state/query/pack plan work) skipped per operation.
+    fp.plan_compiles_avoided.fetch_add(1, std::memory_order_relaxed);
+    trace::instant("p2p", send ? "fastpath_send" : "fastpath_recv", -1.0, "class",
+                   static_cast<std::uint64_t>(cls), "bytes",
+                   static_cast<std::uint64_t>(payload_bytes));
+}
+
+} // namespace
+
+Request Communicator::isend_wire(const void* p, Count n, int dst, int tag) {
+    if (n < 0 || (n > 0 && p == nullptr)) return make_error_request(Status::err_arg);
+    if (const Status st = check_send(dst, tag); !ok(st))
+        return make_error_request(st);
+    note_fastpath(core::WireClass::trivially_wireable, n, /*send=*/true);
+    return make_request(
+        worker_.tag_send(dst, encode_send_tag(tag), ucx::make_contig_send(p, n)));
+}
+
+Request Communicator::irecv_wire(void* p, Count n, int src, int tag) {
+    if (n < 0 || (n > 0 && p == nullptr)) return make_error_request(Status::err_arg);
+    if (const Status st = check_recv(src, tag); !ok(st))
+        return make_error_request(st);
+    note_fastpath(core::WireClass::trivially_wireable, n, /*send=*/false);
+    ucx::Tag t = 0, mask = 0;
+    encode_recv_tag(src, tag, &t, &mask);
+    return make_request(worker_.tag_recv(t, mask, ucx::make_contig_recv(p, n)));
+}
+
+Request Communicator::isend_sized(const void* payload, Count n, int dst, int tag) {
+    if (n < 0 || (n > 0 && payload == nullptr))
+        return make_error_request(Status::err_arg);
+    if (const Status st = check_send(dst, tag); !ok(st))
+        return make_error_request(st);
+    note_fastpath(core::WireClass::contiguous_resizable, n, /*send=*/true);
+    ucx::IovDesc iov;
+    iov.backing =
+        std::make_shared<ByteVec>(static_cast<std::size_t>(kSizedHeaderBytes));
+    const std::uint64_t len = static_cast<std::uint64_t>(n);
+    std::memcpy(iov.backing->data(), &len, sizeof len);
+    iov.entries.push_back({iov.backing->data(), kSizedHeaderBytes});
+    // The payload entry borrows the user buffer — zero send-side copies.
+    if (n > 0) iov.entries.push_back({const_cast<void*>(payload), n});
+    return make_request(
+        worker_.tag_send(dst, encode_send_tag(tag), std::move(iov)));
+}
+
+Request Communicator::irecv_sized(std::shared_ptr<ByteVec> hdr, void* payload,
+                                  Count n, int src, int tag) {
+    if (hdr == nullptr || n < 0 || (n > 0 && payload == nullptr))
+        return make_error_request(Status::err_arg);
+    if (const Status st = check_recv(src, tag); !ok(st))
+        return make_error_request(st);
+    note_fastpath(core::WireClass::contiguous_resizable, n, /*send=*/false);
+    hdr->resize(static_cast<std::size_t>(kSizedHeaderBytes));
+    ucx::IovDesc iov;
+    iov.backing = std::move(hdr);
+    iov.entries.push_back({iov.backing->data(), kSizedHeaderBytes});
+    if (n > 0) iov.entries.push_back({payload, n});
+    ucx::Tag t = 0, mask = 0;
+    encode_recv_tag(src, tag, &t, &mask);
+    return make_request(worker_.tag_recv(t, mask, std::move(iov)));
 }
 
 Request Communicator::isend(const void* buf, Count count, const dt::TypeRef& type,

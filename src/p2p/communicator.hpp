@@ -111,6 +111,25 @@ public:
     [[nodiscard]] Request irecv(void* buf, Count count, const dt::TypeRef& type,
                                 int src, int tag);
 
+    // --- Zero-serialization fast path (backend of mpicd::send/recv in
+    // p2p/api.hpp; see docs/API.md §7). isend_wire/irecv_wire move a
+    // trivially-wireable object as one CONTIG transfer borrowing the user
+    // buffer; isend_sized/irecv_sized move a contiguous-resizable payload
+    // as a two-entry IOV (staged u64 payload-byte-count + the payload
+    // itself, wire-identical to the CustomSerialize<std::vector<U>>
+    // lowering for count == 1). All four skip pack-plan compilation,
+    // descriptor-cache lookups and the pack/unpack callbacks entirely and
+    // account to the fastpath/* counters.
+    [[nodiscard]] Request isend_wire(const void* p, Count n, int dst, int tag);
+    [[nodiscard]] Request irecv_wire(void* p, Count n, int src, int tag);
+    [[nodiscard]] Request isend_sized(const void* payload, Count n, int dst,
+                                      int tag);
+    // `hdr` receives the sender's 8-byte length header (resized by the
+    // call); the caller validates it against the delivered payload after
+    // completion.
+    [[nodiscard]] Request irecv_sized(std::shared_ptr<ByteVec> hdr, void* payload,
+                                      Count n, int src, int tag);
+
     // --- Custom datatypes (the paper's API).
     [[nodiscard]] Request isend_custom(const void* buf, Count count,
                                        const core::CustomDatatype& type, int dst,

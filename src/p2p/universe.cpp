@@ -13,6 +13,10 @@ Universe::Universe(int nranks, netsim::WireParams params,
                    netsim::FaultConfig faults)
     : fabric_(nranks, params, faults) {
     assert(nranks > 0);
+    // Materialize the fastpath/* counter group up front so every metrics
+    // snapshot (and thus every BENCH_*.json) reports bypass rates, zero or
+    // not.
+    (void)core::fastpath_counters();
     workers_.reserve(static_cast<std::size_t>(nranks));
     comms_.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {

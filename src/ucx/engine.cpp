@@ -1,5 +1,6 @@
 #include "ucx/engine.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/pool.hpp"
@@ -61,6 +62,39 @@ Status gather_from_regions(std::span<const ConstIovEntry> regions, Count offset,
     }
     *used = produced;
     datapath::add_copied(produced);
+    return Status::success;
+}
+
+Status dma_regions(std::span<const ConstIovEntry> src, std::span<const IovEntry> dst,
+                   Count offset, Count len, Count* moved) {
+    *moved = 0;
+    // Advance both cursors to the stream offset, then walk the two region
+    // lists in lockstep copying the overlap of the current entries.
+    std::size_t si = 0, di = 0;
+    Count soff = offset, doff = offset;
+    while (si < src.size() && soff >= src[si].len) soff -= src[si++].len;
+    while (di < dst.size() && doff >= dst[di].len) doff -= dst[di++].len;
+    Count remaining = len;
+    while (remaining > 0 && si < src.size()) {
+        if (di >= dst.size()) return Status::err_truncate;
+        const Count n = std::min({remaining, src[si].len - soff, dst[di].len - doff});
+        std::memcpy(static_cast<std::byte*>(dst[di].base) + doff,
+                    static_cast<const std::byte*>(src[si].base) + soff,
+                    static_cast<std::size_t>(n));
+        *moved += n;
+        remaining -= n;
+        soff += n;
+        doff += n;
+        if (soff == src[si].len) {
+            ++si;
+            soff = 0;
+        }
+        if (doff == dst[di].len) {
+            ++di;
+            doff = 0;
+        }
+    }
+    datapath::add_dma(*moved);
     return Status::success;
 }
 

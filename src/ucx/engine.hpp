@@ -112,4 +112,14 @@ private:
 [[nodiscard]] Status gather_from_regions(std::span<const ConstIovEntry> regions,
                                          Count offset, MutBytes dst, Count* used);
 
+// Move up to `len` bytes at stream offset `offset` directly from the
+// source region layout into the destination region layout — the simulated
+// NIC's scatter-gather DMA for the zero-copy rendezvous path. No bounce
+// buffer, no host copy: the moved bytes count toward datapath::bytes_dma,
+// not bytes_copied. *moved may be short when the source is exhausted;
+// err_truncate when the destination cannot hold the source bytes.
+[[nodiscard]] Status dma_regions(std::span<const ConstIovEntry> src,
+                                 std::span<const IovEntry> dst, Count offset,
+                                 Count len, Count* moved);
+
 } // namespace mpicd::ucx

@@ -934,8 +934,16 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         std::vector<IovEntry> recv_regions(h.nregions);
         std::memcpy(recv_regions.data(), pkt.header.data() + sizeof(CtsHeader),
                     h.nregions * sizeof(IovEntry));
-        PooledBuf bounce =
-            PooledBuf::make(static_cast<std::size_t>(std::min(total, frag_size)));
+        // Memory-backed sources transfer region-to-region like a real NIC's
+        // scatter-gather DMA — no bounce buffer, no host copy (the moved
+        // bytes land in datapath/bytes_dma, keeping copy_amp honest for the
+        // zero-serialization fast path). Generic sources still pack through
+        // a bounce fragment.
+        const bool direct = rq.source->exposes_memory();
+        PooledBuf bounce;
+        if (!direct)
+            bounce = PooledBuf::make(
+                static_cast<std::size_t>(std::min(total, frag_size)));
         Count offset = 0;
         SimTime data_done = clock_.now();
         const Count sg =
@@ -944,17 +952,26 @@ void Worker::handle_cts_locked(netsim::Packet&& pkt) {
         while (offset < total && ok(st)) {
             const Count want = std::min(frag_size, total - offset);
             Count used = 0;
-            SimTime pack_cost = 0.0;
-            st = rq.source->read(offset, MutBytes(bounce.data(), static_cast<std::size_t>(want)),
-                                 &used, pack_cost);
-            clock_.advance(pack_cost);
-            record_pack_throughput(used, pack_cost);
-            if (ok(st) && used == 0) st = Status::err_pack;
-            if (!ok(st)) break;
-            frag_bytes_hist().record(static_cast<std::uint64_t>(used));
-            st = scatter_into_regions(recv_regions, offset,
-                                      ConstBytes(bounce.data(), static_cast<std::size_t>(used)));
-            if (!ok(st)) break;
+            if (direct) {
+                st = dma_regions(rq.source->regions(), recv_regions, offset, want,
+                                 &used);
+                if (ok(st) && used == 0) st = Status::err_pack;
+                if (!ok(st)) break;
+                frag_bytes_hist().record(static_cast<std::uint64_t>(used));
+            } else {
+                SimTime pack_cost = 0.0;
+                st = rq.source->read(offset,
+                                     MutBytes(bounce.data(), static_cast<std::size_t>(want)),
+                                     &used, pack_cost);
+                clock_.advance(pack_cost);
+                record_pack_throughput(used, pack_cost);
+                if (ok(st) && used == 0) st = Status::err_pack;
+                if (!ok(st)) break;
+                frag_bytes_hist().record(static_cast<std::uint64_t>(used));
+                st = scatter_into_regions(recv_regions, offset,
+                                          ConstBytes(bounce.data(), static_cast<std::size_t>(used)));
+                if (!ok(st)) break;
+            }
             data_done = fabric_.rdma_cost(ep_, rq.peer, used, first ? sg : 1,
                                           clock_.now() + params_.frag_overhead_us);
             trace::instant("ucx", "rdma_frag", data_done, "offset",

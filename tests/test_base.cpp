@@ -183,6 +183,23 @@ TEST(Config, CustomPackFragClampsToDefault) {
     EXPECT_EQ(core::custom_pack_frag_from_env(), kDefault);
 }
 
+TEST(Config, FastPathEnvClampsToDefault) {
+    // MPICD_FAST_PATH accepts exactly 0 or 1; anything else means the
+    // default (enabled) rather than silently meaning something.
+    setenv("MPICD_FAST_PATH", "0", 1);
+    EXPECT_FALSE(core::fast_path_from_env());
+    setenv("MPICD_FAST_PATH", "1", 1);
+    EXPECT_TRUE(core::fast_path_from_env());
+    setenv("MPICD_FAST_PATH", "7", 1);
+    EXPECT_TRUE(core::fast_path_from_env());
+    setenv("MPICD_FAST_PATH", "-1", 1);
+    EXPECT_TRUE(core::fast_path_from_env());
+    setenv("MPICD_FAST_PATH", "notanumber", 1);
+    EXPECT_TRUE(core::fast_path_from_env()); // unparsable -> default
+    unsetenv("MPICD_FAST_PATH");
+    EXPECT_TRUE(core::fast_path_from_env());
+}
+
 TEST(Stats, EmptyIsZero) {
     RunningStats s;
     EXPECT_EQ(s.count(), 0u);

@@ -1,10 +1,21 @@
-// Tests for the CustomSerialize<T> trait layer and the paper's benchmark
-// types (Listings 6–8).
+// Tests for the CustomSerialize<T> trait layer, the paper's benchmark
+// types (Listings 6–8), and the zero-serialization fast path: wire
+// classification pins, the concepts-based mpicd::send/recv API, and the
+// MPICD_FAST_PATH=0 differential suite (docs/API.md §7).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "base/metrics.hpp"
 #include "core/paper_types.hpp"
+#include "netsim/fault.hpp"
+#include "p2p/api.hpp"
 #include "p2p/universe.hpp"
 #include "test_util.hpp"
+#include "ucx/wire.hpp"
 
 namespace mpicd::core {
 namespace {
@@ -149,6 +160,440 @@ TEST(Traits, LargeCountRendezvous) {
         EXPECT_EQ(recv[static_cast<std::size_t>(i)].b, i ^ 0x55);
         EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)].d, i * 0.125);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Wire classification pins (docs/API.md §7). Compile-time contracts: a
+// change that reclassifies any of these types is a wire-format change and
+// must fail here, not in production.
+
+static_assert(wire_class_v<int> == WireClass::trivially_wireable);
+static_assert(wire_class_v<double> == WireClass::trivially_wireable);
+// Padded structs ship raw (gap included) — still one CONTIG transfer.
+static_assert(wire_class_v<StructSimple> == WireClass::trivially_wireable);
+static_assert(wire_class_v<StructSimpleNoGap> == WireClass::trivially_wireable);
+static_assert(wire_class_v<StructVec> == WireClass::trivially_wireable);
+// std::pair fails is_trivially_copyable on a technicality (user-provided
+// operator=) but is bitwise-safe; nested pairs/arrays recurse.
+static_assert(wire_class_v<std::pair<int, double>> == WireClass::trivially_wireable);
+static_assert(wire_class_v<std::pair<std::pair<int, float>, std::array<double, 3>>> ==
+              WireClass::trivially_wireable);
+static_assert(wire_class_v<std::array<std::pair<std::int16_t, char>, 4>> ==
+              WireClass::trivially_wireable);
+// Pointers are meaningless on the remote side.
+static_assert(wire_class_v<int*> == WireClass::needs_serializer);
+static_assert(wire_class_v<std::pair<int, char*>> == WireClass::needs_serializer);
+// Contiguous containers of wireable elements lower to size+payload IOVs.
+static_assert(wire_class_v<std::vector<std::int32_t>> ==
+              WireClass::contiguous_resizable);
+static_assert(wire_class_v<std::vector<StructSimple>> ==
+              WireClass::contiguous_resizable);
+static_assert(wire_class_v<std::vector<std::pair<int, double>>> ==
+              WireClass::contiguous_resizable);
+static_assert(wire_class_v<std::string> == WireClass::contiguous_resizable);
+static_assert(wire_class_v<std::u32string> == WireClass::contiguous_resizable);
+// Nested containers have heap indirection per element: NOT wireable, NOT
+// resizable-contiguous; they need a real serializer.
+static_assert(wire_class_v<std::vector<std::vector<int>>> ==
+              WireClass::needs_serializer);
+static_assert(wire_class_v<std::vector<std::string>> == WireClass::needs_serializer);
+// vector<bool> is a bitset in disguise: no contiguous element storage.
+static_assert(wire_class_v<std::vector<bool>> == WireClass::needs_serializer);
+
+static_assert(TriviallyWireable<std::array<int, 8>>);
+static_assert(!TriviallyWireable<std::vector<int>>);
+static_assert(ContiguousResizable<std::vector<double>> && !ContiguousResizable<double>);
+static_assert(HasCustomSerialize<StructSimple>);
+static_assert(HasCustomSerialize<std::vector<std::int32_t>>);
+static_assert(!HasCustomSerialize<std::vector<std::vector<int>>>);
+static_assert(WireSendable<std::pair<int, int>>);
+static_assert(WireSendable<std::vector<std::pair<int, double>>>);
+static_assert(!WireSendable<std::vector<std::vector<int>>>);
+static_assert(!WireSendable<std::vector<bool>>);
+static_assert(!WireSendable<int*>);
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// A heap-indirected type with its own serializer — the needs_serializer row
+// of the dispatch table. Wire layout per element:
+// [u64 payload bytes][i32 id][payload]. (Specialization must live at
+// mpicd::core scope, hence outside the anonymous namespace.)
+
+struct TestBlob {
+    std::int32_t id = 0;
+    std::vector<std::int32_t> data;
+};
+
+template <>
+struct CustomSerialize<TestBlob> {
+    struct State {
+        ByteVec hdr;
+        Count received = 0;
+    };
+    static constexpr bool inorder = false;
+
+    static Status init(const TestBlob* buf, Count count, State& st) {
+        std::size_t total = 0;
+        for (Count i = 0; i < count; ++i)
+            total += sizeof(std::uint64_t) + sizeof(std::int32_t) +
+                     buf[i].data.size() * sizeof(std::int32_t);
+        st.hdr.resize(total);
+        std::size_t off = 0;
+        for (Count i = 0; i < count; ++i) {
+            const std::uint64_t len = buf[i].data.size() * sizeof(std::int32_t);
+            std::memcpy(st.hdr.data() + off, &len, sizeof len);
+            off += sizeof len;
+            std::memcpy(st.hdr.data() + off, &buf[i].id, sizeof buf[i].id);
+            off += sizeof buf[i].id;
+            std::memcpy(st.hdr.data() + off, buf[i].data.data(),
+                        static_cast<std::size_t>(len));
+            off += static_cast<std::size_t>(len);
+        }
+        return Status::success;
+    }
+    static Status packed_size(State& st, const TestBlob*, Count, Count* size) {
+        *size = static_cast<Count>(st.hdr.size());
+        return Status::success;
+    }
+    static Status pack(State& st, const TestBlob*, Count, Count offset, void* dst,
+                       Count dst_size, Count* used) {
+        const Count total = static_cast<Count>(st.hdr.size());
+        if (offset < 0 || offset > total) return Status::err_pack;
+        const Count n = std::min(dst_size, total - offset);
+        std::memcpy(dst, st.hdr.data() + offset, static_cast<std::size_t>(n));
+        *used = n;
+        return Status::success;
+    }
+    static Status unpack(State& st, TestBlob* buf, Count count, Count offset,
+                         const void* src, Count src_size) {
+        const Count total = static_cast<Count>(st.hdr.size());
+        if (offset < 0 || offset + src_size > total) return Status::err_unpack;
+        std::memcpy(st.hdr.data() + offset, src, static_cast<std::size_t>(src_size));
+        st.received += src_size;
+        if (st.received < total) return Status::success;
+        std::size_t off = 0;
+        for (Count i = 0; i < count; ++i) {
+            std::uint64_t len = 0;
+            std::memcpy(&len, st.hdr.data() + off, sizeof len);
+            off += sizeof len;
+            if (len != buf[i].data.size() * sizeof(std::int32_t))
+                return Status::err_truncate;
+            std::memcpy(&buf[i].id, st.hdr.data() + off, sizeof buf[i].id);
+            off += sizeof buf[i].id;
+            std::memcpy(buf[i].data.data(), st.hdr.data() + off,
+                        static_cast<std::size_t>(len));
+            off += static_cast<std::size_t>(len);
+        }
+        return Status::success;
+    }
+};
+
+static_assert(NeedsSerializer<TestBlob>);
+static_assert(HasCustomSerialize<TestBlob>);
+static_assert(WireSendable<TestBlob>);
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Differential suite: MPICD_FAST_PATH on vs off must deliver identical
+// payloads and (for wire-compatible shapes, with the protocol choice
+// pinned) identical wire-fragment schedules.
+
+// The fast path sends wireable T as CONTIG (eager_threshold) where the
+// fallback sends a one-region IOV (iov_eager_threshold); pinning the two
+// thresholds equal makes both modes pick the same protocol, so fragment
+// schedules are comparable.
+netsim::WireParams pinned_params(Count eager, Count frag) {
+    netsim::WireParams p;
+    p.eager_threshold = eager;
+    p.iov_eager_threshold = eager;
+    p.rndv_frag_size = frag;
+    return p;
+}
+
+template <typename T>
+struct Exchanged {
+    T value{};
+    p2p::MsgStatus send_st;
+    p2p::MsgStatus recv_st;
+    std::uint64_t frag_count = 0;
+    std::uint64_t frag_sum = 0;
+    std::uint64_t retransmits = 0;
+};
+
+// One blocking mpicd::send/recv pair (receiver on its own thread: the
+// rendezvous protocol needs both sides in flight) with the global knob
+// forced to `fast`, capturing payload, fragment schedule, and retransmits.
+template <typename T>
+Exchanged<T> exchange_one(bool fast, const T& src, const netsim::WireParams& p,
+                          const netsim::ScheduledFault* fault = nullptr) {
+    metrics().reset();
+    set_fast_path(fast);
+    Exchanged<T> out;
+    {
+        p2p::Universe uni(2, p);
+        if (fault) uni.fabric().faults().schedule(*fault);
+        std::thread rx(
+            [&] { out.recv_st = mpicd::recv(uni.comm(1), out.value, 0, 7); });
+        out.send_st = mpicd::send(uni.comm(0), src, 1, 7);
+        rx.join();
+        out.retransmits = uni.worker(0).stats().retransmits;
+    }
+    for (const auto& h : metrics().hist_snapshot()) {
+        if (h.group == "wire" && h.name == "frag_bytes") {
+            out.frag_count = h.snap.count;
+            out.frag_sum = h.snap.sum;
+        }
+    }
+    set_fast_path(fast_path_from_env()); // restore the ambient default
+    return out;
+}
+
+std::uint64_t counter_value(const char* group, const char* name) {
+    for (const auto& s : metrics().snapshot())
+        if (s.group == group && s.name == name) return s.value;
+    return 0;
+}
+
+TEST(FastPath, WireableOnOffIdenticalEager) {
+    std::array<std::int32_t, 64> src{};
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::int32_t>(i * 3 + 1);
+    const auto p = pinned_params(4096, 4096);
+    const auto on = exchange_one(true, src, p);
+    const auto off = exchange_one(false, src, p);
+    ASSERT_EQ(on.recv_st.status, Status::success);
+    ASSERT_EQ(off.recv_st.status, Status::success);
+    EXPECT_EQ(on.value, src);
+    EXPECT_EQ(off.value, src);
+    // Same bytes on the wire, same fragment schedule.
+    EXPECT_EQ(on.recv_st.bytes, static_cast<Count>(sizeof src));
+    EXPECT_EQ(on.frag_count, off.frag_count);
+    EXPECT_EQ(on.frag_sum, off.frag_sum);
+}
+
+TEST(FastPath, WireableOnOffIdenticalRendezvous) {
+    std::array<double, 4096> src{}; // 32 KiB >> pinned 1 KiB threshold
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<double>(i) * 0.75;
+    const auto p = pinned_params(1024, 4096);
+    const auto on = exchange_one(true, src, p);
+    const auto off = exchange_one(false, src, p);
+    ASSERT_EQ(on.recv_st.status, Status::success);
+    ASSERT_EQ(off.recv_st.status, Status::success);
+    EXPECT_EQ(on.value, src);
+    EXPECT_EQ(off.value, src);
+    EXPECT_GE(on.frag_count, 8u); // really took the fragmented path
+    EXPECT_EQ(on.frag_count, off.frag_count);
+    EXPECT_EQ(on.frag_sum, off.frag_sum);
+}
+
+TEST(FastPath, ResizableOnOffIdenticalEager) {
+    const auto src = test::iota_vec<std::int32_t>(500, 11);
+    const auto p = pinned_params(4096, 4096);
+    const auto on = exchange_one(true, src, p);
+    const auto off = exchange_one(false, src, p);
+    ASSERT_EQ(on.recv_st.status, Status::success);
+    ASSERT_EQ(off.recv_st.status, Status::success);
+    EXPECT_EQ(on.value, src);
+    EXPECT_EQ(off.value, src);
+    // Two-entry size+payload IOV is wire-identical to the count==1
+    // CustomSerialize<vector> lowering: u64 header + payload.
+    EXPECT_EQ(on.recv_st.bytes,
+              static_cast<Count>(sizeof(std::uint64_t) + 500 * sizeof(std::int32_t)));
+    EXPECT_EQ(on.frag_count, off.frag_count);
+    EXPECT_EQ(on.frag_sum, off.frag_sum);
+}
+
+TEST(FastPath, ResizableOnOffIdenticalRendezvous) {
+    const auto src = test::iota_vec<std::int64_t>(8192, 5); // 64 KiB payload
+    const auto p = pinned_params(1024, 4096);
+    const auto on = exchange_one(true, src, p);
+    const auto off = exchange_one(false, src, p);
+    ASSERT_EQ(on.recv_st.status, Status::success);
+    ASSERT_EQ(off.recv_st.status, Status::success);
+    EXPECT_EQ(on.value, src);
+    EXPECT_EQ(off.value, src);
+    EXPECT_GE(on.frag_count, 8u);
+    EXPECT_EQ(on.frag_count, off.frag_count);
+    EXPECT_EQ(on.frag_sum, off.frag_sum);
+}
+
+TEST(FastPath, StringAndPairVectorBothModes) {
+    const std::string s(10000, 'x');
+    const auto p = pinned_params(1024, 4096);
+    EXPECT_EQ(exchange_one(true, s, p).value, s);
+    EXPECT_EQ(exchange_one(false, s, p).value, s);
+
+    std::vector<std::pair<std::int32_t, double>> pv(300);
+    for (std::size_t i = 0; i < pv.size(); ++i)
+        pv[i] = {static_cast<std::int32_t>(i), static_cast<double>(i) * 0.5};
+    EXPECT_EQ(exchange_one(true, pv, p).value, pv);
+    EXPECT_EQ(exchange_one(false, pv, p).value, pv);
+}
+
+TEST(FastPath, EmptyVectorBothModes) {
+    const std::vector<double> src;
+    const auto p = pinned_params(4096, 4096);
+    const auto on = exchange_one(true, src, p);
+    const auto off = exchange_one(false, src, p);
+    ASSERT_EQ(on.recv_st.status, Status::success);
+    ASSERT_EQ(off.recv_st.status, Status::success);
+    EXPECT_TRUE(on.value.empty());
+    EXPECT_TRUE(off.value.empty());
+    // Header-only message: exactly the u64 length.
+    EXPECT_EQ(on.recv_st.bytes, static_cast<Count>(sizeof(std::uint64_t)));
+}
+
+TEST(FastPath, LossyRendezvousDeliversIdenticalPayload) {
+    // Drop the rendezvous RTS: both modes' memory-exposing sinks take the
+    // RDMA rendezvous (data moves by DMA, not droppable FRAG packets), so
+    // the control channel is where loss can strike. Recovery (RTO +
+    // retransmit) must deliver the same payload in both modes. Fragment
+    // *schedules* are not compared here — the retransmit count depends on
+    // wall-clock timer sampling (see test_trace.cpp).
+    const auto src = test::iota_vec<std::int64_t>(8192, 3);
+    auto p = pinned_params(1024, 4096);
+    p.rto_us = 20.0;
+    p.max_retries = 6;
+    netsim::ScheduledFault f;
+    f.src = 0;
+    f.dst = 1;
+    f.action = netsim::FaultAction::drop;
+    f.kind_filter = ucx::wire::kRts;
+    f.nth = 1;
+    const auto on = exchange_one(true, src, p, &f);
+    const auto off = exchange_one(false, src, p, &f);
+    ASSERT_EQ(on.recv_st.status, Status::success);
+    ASSERT_EQ(off.recv_st.status, Status::success);
+    EXPECT_GE(on.retransmits, 1u);
+    EXPECT_GE(off.retransmits, 1u);
+    EXPECT_EQ(on.value, src);
+    EXPECT_EQ(off.value, src);
+}
+
+TEST(FastPath, StructSimpleBothModesDeliver) {
+    // A wireable type that *also* has a CustomSerialize: the fast path
+    // ships all 24 raw bytes (gap included), the fallback packs 20 — both
+    // must deliver the same field values.
+    StructSimple src{7, -8, 9, 2.5};
+    const auto p = pinned_params(4096, 4096);
+    const auto on = exchange_one(true, src, p);
+    const auto off = exchange_one(false, src, p);
+    ASSERT_EQ(on.recv_st.status, Status::success);
+    ASSERT_EQ(off.recv_st.status, Status::success);
+    EXPECT_EQ(on.recv_st.bytes, static_cast<Count>(sizeof(StructSimple)));
+    EXPECT_EQ(off.recv_st.bytes, kScalarPack);
+    for (const auto* r : {&on.value, &off.value}) {
+        EXPECT_EQ(r->a, 7);
+        EXPECT_EQ(r->b, -8);
+        EXPECT_EQ(r->c, 9);
+        EXPECT_DOUBLE_EQ(r->d, 2.5);
+    }
+}
+
+TEST(FastPath, BlobUsesSerializerBothModes) {
+    TestBlob src;
+    src.id = 42;
+    src.data = test::iota_vec<std::int32_t>(257, 100);
+    const auto p = pinned_params(4096, 4096);
+    for (const bool fast : {true, false}) {
+        metrics().reset();
+        set_fast_path(fast);
+        p2p::Universe uni(2, p);
+        TestBlob dst;
+        dst.data.resize(src.data.size()); // serializer path: pre-shaped receiver
+        auto rr = [&] { return mpicd::recv(uni.comm(1), dst, 0, 4); };
+        std::thread rx([&] { (void)rr(); });
+        const auto sst = mpicd::send(uni.comm(0), src, 1, 4);
+        rx.join();
+        EXPECT_EQ(sst.status, Status::success);
+        EXPECT_EQ(dst.id, 42);
+        EXPECT_EQ(dst.data, src.data);
+        // needs_serializer never touches the bypass counters, on or off.
+        EXPECT_GE(counter_value("fastpath", "serializer_ops"), 2u);
+        EXPECT_EQ(counter_value("fastpath", "hits_trivial"), 0u);
+        EXPECT_EQ(counter_value("fastpath", "hits_resizable"), 0u);
+    }
+    set_fast_path(fast_path_from_env());
+}
+
+TEST(FastPath, CountersAccountBypassesAndFallbacks) {
+    const auto src = test::iota_vec<std::int32_t>(128, 1);
+    const std::pair<std::int64_t, std::int64_t> pod{1, 2};
+    const auto p = pinned_params(4096, 4096);
+    (void)exchange_one(true, src, p);  // resets metrics itself
+    EXPECT_GE(counter_value("fastpath", "hits_resizable"), 2u); // send + recv
+    EXPECT_GT(counter_value("fastpath", "bytes_bypassed"), 0u);
+    EXPECT_GE(counter_value("fastpath", "plan_compiles_avoided"), 2u);
+    // The whole point: no pack plan was compiled or looked up.
+    EXPECT_EQ(counter_value("pack", "plans_compiled"), 0u);
+    EXPECT_EQ(counter_value("pack", "plan_cache_hits"), 0u);
+
+    (void)exchange_one(true, pod, p);
+    EXPECT_GE(counter_value("fastpath", "hits_trivial"), 2u);
+
+    (void)exchange_one(false, src, p);
+    EXPECT_GE(counter_value("fastpath", "fallback_ops"), 2u);
+    EXPECT_EQ(counter_value("fastpath", "hits_resizable"), 0u);
+}
+
+TEST(FastPath, CorruptStreamIsTruncateError) {
+    core::set_fast_path(true);
+    p2p::Universe uni(2, test::test_params());
+
+    // (a) 10 bytes: too short to be [u64][k * sizeof(i32)] — must be
+    // drained and reported, not resized into.
+    const ByteVec junk = test::pattern_bytes(10, 3);
+    ASSERT_EQ(uni.comm(0).send_bytes(junk.data(), 10, 1, 8).status,
+              Status::success);
+    std::vector<std::int32_t> dst(3, -1);
+    const auto st = mpicd::recv(uni.comm(1), dst, 0, 8);
+    EXPECT_EQ(st.status, Status::err_truncate);
+    EXPECT_EQ(dst.size(), 3u); // untouched: no attacker-driven resize
+
+    // (b) well-shaped length but a lying header: u64 announces 64 bytes,
+    // 8 arrive.
+    ByteVec lying(16);
+    const std::uint64_t bogus = 64;
+    std::memcpy(lying.data(), &bogus, sizeof bogus);
+    ASSERT_EQ(uni.comm(0).send_bytes(lying.data(), 16, 1, 8).status,
+              Status::success);
+    const auto st2 = mpicd::recv(uni.comm(1), dst, 0, 8);
+    EXPECT_EQ(st2.status, Status::err_truncate);
+
+    // (c) the tag still works afterwards: the corrupt messages were
+    // consumed, not left to shadow later traffic.
+    const auto good = test::iota_vec<std::int32_t>(64, 9);
+    ASSERT_EQ(mpicd::send(uni.comm(0), good, 1, 8).status, Status::success);
+    EXPECT_EQ(mpicd::recv(uni.comm(1), dst, 0, 8).status, Status::success);
+    EXPECT_EQ(dst, good);
+    set_fast_path(fast_path_from_env());
+}
+
+TEST(FastPath, VectorHeaderBoundCheckRejectsCorruptLengths) {
+    // Drive the CustomSerialize<vector> header validation directly with
+    // corrupt wire bytes: lengths that are huge or not element-aligned
+    // must return err_truncate and never resize the receive vector.
+    using CS = CustomSerialize<std::vector<std::int32_t>>;
+    std::vector<std::int32_t> dst[1];
+    dst[0].resize(4);
+
+    for (const std::uint64_t bad : {(std::uint64_t{1} << 40) + 1,  // unaligned
+                                    std::uint64_t{1} << 40,        // absurd size
+                                    std::uint64_t{12}}) {          // aligned, wrong
+        typename CS::State st;
+        ASSERT_EQ(CS::init(dst, 1, st), Status::success);
+        EXPECT_EQ(CS::unpack(st, dst, 1, 0, &bad, sizeof bad),
+                  Status::err_truncate);
+        EXPECT_EQ(dst[0].size(), 4u); // no over-allocation from wire data
+    }
+    // The matching length is accepted.
+    typename CS::State st;
+    ASSERT_EQ(CS::init(dst, 1, st), Status::success);
+    const std::uint64_t good = 4 * sizeof(std::int32_t);
+    EXPECT_EQ(CS::unpack(st, dst, 1, 0, &good, sizeof good), Status::success);
 }
 
 } // namespace
