@@ -20,6 +20,14 @@ Fabric::Fabric(int num_endpoints, WireParams params, FaultConfig faults)
       limbo_(static_cast<std::size_t>(num_endpoints) *
              static_cast<std::size_t>(num_endpoints)) {
     assert(num_endpoints > 0);
+    if (params_.ranks_per_node > 0) {
+        node_count_ = static_cast<std::size_t>(
+            (num_endpoints + params_.ranks_per_node - 1) / params_.ranks_per_node);
+        node_link_free_at_.assign(node_count_ * node_count_ *
+                                      static_cast<std::size_t>(
+                                          std::max(1, params_.rails)),
+                                  0.0);
+    }
 }
 
 Fabric::~Fabric() {
@@ -98,7 +106,7 @@ void Fabric::deliver_locked(Packet&& pkt) {
     if (!d.drop) {
         if (d.duplicate) {
             Packet copy = pkt; // same link_seq/crc: receiver dedups
-            copy.arrival += params_.latency_us;
+            copy.arrival += params_.link_latency(pkt.src, pkt.dst);
             copy.seq = next_seq_++;
             if (d.reorder) {
                 limbo_[l] = std::move(pkt);
@@ -128,11 +136,11 @@ void Fabric::flush_limbo_locked(int ep) {
 SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
                          Count sg_entries, int rail) {
     std::unique_lock<std::mutex> lock(mutex_);
-    auto& free_at = link_free_at_[link_index(pkt.src, pkt.dst, rail)];
+    auto& free_at = link_free_slot(pkt.src, pkt.dst, rail);
     const SimTime start = std::max(ready + params_.sg_overhead(sg_entries), free_at);
-    const SimTime end = start + params_.serialize_time(wire_bytes);
+    const SimTime end = start + params_.serialize_time_on(wire_bytes, pkt.src, pkt.dst);
     free_at = end;
-    pkt.arrival = end + params_.latency_us;
+    pkt.arrival = end + params_.link_latency(pkt.src, pkt.dst);
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
     // Attribute this packet's events (tx + any fault instants from
@@ -151,7 +159,7 @@ SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
 
 SimTime Fabric::transmit_control(Packet&& pkt, SimTime ready) {
     std::unique_lock<std::mutex> lock(mutex_);
-    pkt.arrival = ready + params_.latency_us;
+    pkt.arrival = ready + params_.link_latency(pkt.src, pkt.dst);
     pkt.seq = next_seq_++;
     const SimTime arrival = pkt.arrival;
     const trace::MsgScope msg_scope(
@@ -205,16 +213,17 @@ SimTime Fabric::rdma_write(int src_ep, int dst_ep, const void* src, void* dst,
 SimTime Fabric::rdma_cost(int src_ep, int dst_ep, Count bytes, Count sg_entries,
                           SimTime ready, int rail) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto& free_at = link_free_at_[link_index(src_ep, dst_ep, rail)];
+    auto& free_at = link_free_slot(src_ep, dst_ep, rail);
     const SimTime start = std::max(ready + params_.sg_overhead(sg_entries), free_at);
-    const SimTime end = start + params_.serialize_time(bytes);
+    const SimTime end = start + params_.serialize_time_on(bytes, src_ep, dst_ep);
     free_at = end;
-    return end + params_.latency_us;
+    return end + params_.link_latency(src_ep, dst_ep);
 }
 
 void Fabric::reset_time() {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (auto& t : link_free_at_) t = 0.0;
+    for (auto& t : node_link_free_at_) t = 0.0;
 }
 
 } // namespace mpicd::netsim

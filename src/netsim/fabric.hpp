@@ -151,10 +151,30 @@ private:
                    static_cast<std::size_t>(params_.rails) +
                static_cast<std::size_t>(rail % params_.rails);
     }
+    // Serializer for a transfer src -> dst. Intra-node links are
+    // independent per endpoint pair (shared-memory-like). Cross-node
+    // traffic shares ONE serializer per (source node, destination node,
+    // rail) — the node uplink — so every rank pair between two nodes
+    // contends for the same inter-plane capacity. This is what makes
+    // leader-aggregated collectives physically cheaper than per-rank
+    // direct exchange (docs/COLLECTIVES.md).
+    [[nodiscard]] SimTime& link_free_slot(int src, int dst, int rail) {
+        if (params_.cross_node(src, dst)) {
+            const std::size_t idx =
+                (static_cast<std::size_t>(params_.node_of(src)) * node_count_ +
+                 static_cast<std::size_t>(params_.node_of(dst))) *
+                    static_cast<std::size_t>(params_.rails) +
+                static_cast<std::size_t>(rail % params_.rails);
+            return node_link_free_at_[idx];
+        }
+        return link_free_at_[link_index(src, dst, rail)];
+    }
 
     WireParams params_;
     std::vector<Inbox> inboxes_;
     std::vector<SimTime> link_free_at_; // [(src*n + dst)*rails + rail]
+    std::size_t node_count_ = 1;
+    std::vector<SimTime> node_link_free_at_; // [(srcnode*nodes + dstnode)*rails + rail]
     std::uint64_t next_seq_ = 0;
     FaultInjector injector_;
     // Reorder limbo: at most one held packet per (src, dst) link, released

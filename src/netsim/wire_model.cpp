@@ -30,6 +30,16 @@ WireParams WireParams::from_env() {
     p.max_retries = static_cast<int>(env_int_or("MPICD_MAX_RETRIES", p.max_retries));
     if (p.max_retries < 0) p.max_retries = 0;
     p.op_timeout_us = env_double_or("MPICD_OP_TIMEOUT_US", p.op_timeout_us);
+    p.ranks_per_node =
+        static_cast<int>(env_int_or("MPICD_RANKS_PER_NODE", p.ranks_per_node));
+    if (p.ranks_per_node < 0) p.ranks_per_node = 0;
+    p.inter_latency_us = env_double_or("MPICD_INTER_LATENCY_US", p.inter_latency_us);
+    // Same presence-based conversion as MPICD_BANDWIDTH_GBPS; a negative
+    // value is the "same as intra" sentinel and is carried through as-is so
+    // the printed defaults round-trip.
+    if (const auto gbps = env_double("MPICD_INTER_BANDWIDTH_GBPS")) {
+        p.inter_bandwidth_Bpus = *gbps > 0.0 ? *gbps * kBpusPerGbps : *gbps;
+    }
     return p;
 }
 
@@ -53,6 +63,11 @@ void WireParams::print(std::FILE* out) const {
     std::fprintf(out, "MPICD_RTO_US=%.17g\n", rto_us);
     std::fprintf(out, "MPICD_MAX_RETRIES=%d\n", max_retries);
     std::fprintf(out, "MPICD_OP_TIMEOUT_US=%.17g\n", op_timeout_us);
+    std::fprintf(out, "MPICD_RANKS_PER_NODE=%d\n", ranks_per_node);
+    std::fprintf(out, "MPICD_INTER_LATENCY_US=%.17g\n", inter_latency_us);
+    std::fprintf(out, "MPICD_INTER_BANDWIDTH_GBPS=%.17g\n",
+                 inter_bandwidth_Bpus > 0.0 ? inter_bandwidth_Bpus / kBpusPerGbps
+                                            : inter_bandwidth_Bpus);
 }
 
 } // namespace mpicd::netsim

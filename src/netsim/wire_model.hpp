@@ -53,6 +53,21 @@ struct WireParams {
     // potential out-of-order optimizations in advanced implementations").
     int rails = 2;
 
+    // --- Two-level topology (intra-node fast plane vs. inter-node plane;
+    // see docs/COLLECTIVES.md). Endpoints are assigned to nodes in rank
+    // order, `ranks_per_node` per node; 0 (the default) keeps the seed's
+    // flat single-plane model (every endpoint on one node). Links whose
+    // endpoints sit on different nodes use the inter-node latency and
+    // bandwidth below, and all cross-node traffic between a given pair of
+    // nodes shares ONE uplink serializer per rail (Fabric::link_free_slot)
+    // — intra-node links stay independent per endpoint pair. A negative
+    // inter value means "same as the intra plane" so that overriding only
+    // MPICD_RANKS_PER_NODE changes nothing until the inter plane is made
+    // slower.
+    int ranks_per_node = 0;                 // MPICD_RANKS_PER_NODE
+    SimTime inter_latency_us = -1.0;        // MPICD_INTER_LATENCY_US
+    double inter_bandwidth_Bpus = -1.0;     // MPICD_INTER_BANDWIDTH_GBPS
+
     // --- Reliable-delivery protocol (active only when the fault injector
     // is active or MPICD_RELIABLE=1; see docs/FAULTS.md). ---
     // Initial retransmit timeout in virtual us (MPICD_RTO_US); doubles on
@@ -70,7 +85,8 @@ struct WireParams {
     // Read MPICD_LATENCY_US, MPICD_BANDWIDTH_GBPS, MPICD_SG_ENTRY_US,
     // MPICD_HOST_COPY_GBPS, MPICD_EAGER_THRESHOLD, MPICD_RNDV_FRAG_SIZE,
     // MPICD_RNDV_CTRL_US, MPICD_FRAG_OVERHEAD_US, MPICD_RTO_US,
-    // MPICD_MAX_RETRIES, MPICD_OP_TIMEOUT_US.
+    // MPICD_MAX_RETRIES, MPICD_OP_TIMEOUT_US, MPICD_RANKS_PER_NODE,
+    // MPICD_INTER_LATENCY_US, MPICD_INTER_BANDWIDTH_GBPS.
     [[nodiscard]] static WireParams from_env();
 
     // The values the unit-converted env variables expect.
@@ -80,6 +96,30 @@ struct WireParams {
     // Dump every knob as MPICD_<name>=<value> in env-variable units, with
     // enough precision to round-trip through from_env() bit-identically.
     void print(std::FILE* out) const;
+
+    // --- Topology helpers (pure; see Fabric for link-contention state).
+    [[nodiscard]] int node_of(int ep) const noexcept {
+        return ranks_per_node > 0 ? ep / ranks_per_node : 0;
+    }
+    [[nodiscard]] bool cross_node(int a, int b) const noexcept {
+        return node_of(a) != node_of(b);
+    }
+    // Effective inter-node plane values (negative knobs = intra values).
+    [[nodiscard]] SimTime effective_inter_latency() const noexcept {
+        return inter_latency_us >= 0.0 ? inter_latency_us : latency_us;
+    }
+    [[nodiscard]] double effective_inter_bandwidth() const noexcept {
+        return inter_bandwidth_Bpus > 0.0 ? inter_bandwidth_Bpus : bandwidth_Bpus;
+    }
+    [[nodiscard]] SimTime link_latency(int src, int dst) const noexcept {
+        return cross_node(src, dst) ? effective_inter_latency() : latency_us;
+    }
+    [[nodiscard]] double link_bandwidth(int src, int dst) const noexcept {
+        return cross_node(src, dst) ? effective_inter_bandwidth() : bandwidth_Bpus;
+    }
+    [[nodiscard]] SimTime serialize_time_on(Count bytes, int src, int dst) const {
+        return static_cast<double>(bytes) / link_bandwidth(src, dst);
+    }
 
     // Pure helpers (no link-contention state; see Fabric for serialization).
     [[nodiscard]] SimTime serialize_time(Count bytes) const {

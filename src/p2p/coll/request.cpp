@@ -1,0 +1,185 @@
+#include "p2p/coll/request.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "base/log.hpp"
+#include "p2p/universe.hpp"
+
+namespace mpicd::p2p::coll {
+
+CollOp::CollOp(Communicator& comm)
+    : comm_(comm),
+      topo_(TopologyMap::create(comm)),
+      base_tag_(comm.coll_reserve_tags(kCollTagStride)) {
+    coll_counters().ops.fetch_add(1, std::memory_order_relaxed);
+    // Arm the loss watchdog only when the reliable-delivery protocol is on
+    // (i.e. a fault injector is active): on a lossless fabric every posted
+    // request completes, so no watchdog is needed — or wanted, since a
+    // rank can legitimately sit in a collective for unbounded virtual time
+    // waiting for a late peer. Under loss, a peer whose retransmit budget
+    // ran out leaves our eager receive unmatchable forever; the budget is
+    // itself bounded by effective_op_timeout(), so several multiples of it
+    // with no completion means no packet is coming.
+    auto& fabric = comm.worker().fabric();
+    if (fabric.reliable()) {
+        watchdog_us_ = 4.0 * fabric.params().effective_op_timeout();
+        last_move_vtime_ = comm.now();
+    }
+}
+
+bool CollOp::advance() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (done_.load(std::memory_order_relaxed)) return false;
+    bool moved = false;
+    if (!started_) {
+        started_ = true;
+        moved = true;
+        next_phase();
+    }
+    for (std::size_t i = 0; i < pending_.size();) {
+        MsgStatus st;
+        if (pending_[i].poll(&st)) {
+            if (!ok(st.status) && ok(status_.load(std::memory_order_relaxed)))
+                status_.store(st.status, std::memory_order_relaxed);
+            pending_[i] = std::move(pending_.back());
+            pending_.pop_back();
+            moved = true;
+        } else {
+            ++i;
+        }
+    }
+    // Enter the next phase(s). On error no further phase is posted: the op
+    // finishes as soon as the already-posted requests drain (each of them
+    // individually completes or times out under the reliability watchdogs,
+    // so an erroring collective can never hang).
+    while (pending_.empty() && !finishing_ &&
+           ok(status_.load(std::memory_order_relaxed))) {
+        moved = true;
+        next_phase();
+    }
+    if (watchdog_us_ > 0.0 && !pending_.empty()) {
+        const SimTime now = comm_.now();
+        if (moved) {
+            last_move_vtime_ = now;
+        } else if (now - last_move_vtime_ > watchdog_us_) {
+            // Nothing completed for several full retransmit budgets: a
+            // peer gave up (or never arrived) and no packet is coming.
+            // Abandon the posted requests — their tags sit in this op's
+            // reserved block, which the forward-only epoch counter never
+            // hands out again, so a stale posted receive can never match
+            // a later collective's traffic.
+            if (ok(status_.load(std::memory_order_relaxed)))
+                status_.store(Status::timeout, std::memory_order_relaxed);
+            pending_.clear();
+            finishing_ = true;
+            moved = true;
+        }
+    }
+    if (pending_.empty() &&
+        (finishing_ || !ok(status_.load(std::memory_order_relaxed)))) {
+        done_.store(true, std::memory_order_release);
+        moved = true;
+    }
+    return moved;
+}
+
+void CollOp::on_stall() {
+    if (watchdog_us_ <= 0.0) return;
+    if (done_.load(std::memory_order_acquire)) return;
+    // Virtual time only moves when packets or timers are processed; once
+    // every rank's retransmit budget is spent the fabric is quiescent and
+    // the clock freezes short of the watchdog deadline. Charge idle wall
+    // time as virtual time so the deadline is reachable.
+    comm_.advance_time(watchdog_us_ / 16.0);
+    (void)advance();
+}
+
+CollRequest launch(Communicator& comm, std::shared_ptr<CollOp> op) {
+    CollRequest rq;
+    rq.uni_ = &comm.universe();
+    rq.ep_ = comm.worker().endpoint();
+    rq.op_ = op;
+    // Phase 0 posts synchronously: by the time this collective call
+    // returns, the rank's initial receives exist, so a peer entering later
+    // can never mistake other traffic for them.
+    (void)op->advance();
+    if (!op->done()) {
+        ucx::Worker* w = &comm.worker();
+        auto token = std::make_shared<std::uint64_t>(0);
+        *token = w->add_progress_hook([op, token, w]() {
+            const bool moved = op->advance();
+            // Self-removal is safe: the hook runner iterates a snapshot.
+            if (op->done()) w->remove_progress_hook(*token);
+            return moved;
+        });
+    }
+    return rq;
+}
+
+CollRequest error_request(Status st) {
+    CollRequest rq;
+    rq.early_error_ = st;
+    return rq;
+}
+
+bool CollRequest::test() {
+    if (op_ == nullptr) return true;
+    if (op_->done()) return true;
+    uni_->progress(ep_);
+    // The progress hook normally advanced the op just now; the direct call
+    // covers the case where another thread held the worker busy flag.
+    (void)op_->advance();
+    return op_->done();
+}
+
+Status CollRequest::wait() {
+    if (op_ == nullptr) return early_error_;
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::seconds(120);
+    auto last_progress = start;
+    auto last_nudge = start;
+    int idle = 0;
+    while (!op_->done()) {
+        const bool progressed = uni_->progress(ep_);
+        const bool moved = op_->advance();
+        if (op_->done()) break;
+        if (progressed || moved) {
+            idle = 0;
+            last_progress = std::chrono::steady_clock::now();
+            continue;
+        }
+        if (++idle > 256) {
+            std::this_thread::yield();
+            idle = 0;
+            const auto now = std::chrono::steady_clock::now();
+            // Globally idle for a long wall-clock stretch: let the op's
+            // loss watchdog see virtual time move (no-op on lossless
+            // fabrics, where the watchdog is disarmed). The wall-clock
+            // thresholds keep a merely-descheduled peer thread (e.g.
+            // under a sanitizer) from being mistaken for a dead one.
+            if (now - last_progress > std::chrono::milliseconds(100) &&
+                now - last_nudge > std::chrono::milliseconds(100)) {
+                op_->on_stall();
+                last_nudge = now;
+            }
+            if (now > deadline) {
+                MPICD_LOG_ERROR(
+                    "CollRequest::wait deadlocked (no progress for 120 s)");
+                std::abort();
+            }
+        }
+    }
+    return op_->status();
+}
+
+Status wait_all(std::span<CollRequest> requests) {
+    Status first = Status::success;
+    for (auto& rq : requests) {
+        const Status st = rq.wait();
+        if (ok(first) && !ok(st)) first = st;
+    }
+    return first;
+}
+
+} // namespace mpicd::p2p::coll

@@ -1,0 +1,144 @@
+// CollOp / CollRequest: the nonblocking collective machinery.
+//
+// Every collective is a small state machine (a CollOp subclass) that posts
+// point-to-point operations on the communicator's reserved collective tag
+// plane (Communicator::coll_*) in phases. The machine is advanced from two
+// places:
+//  - a worker progress hook (ucx::Worker::add_progress_hook), so a
+//    collective keeps moving whenever this rank's endpoint is progressed —
+//    including when the rank is busy with unrelated p2p traffic, which is
+//    what makes the nonblocking collectives overlap with p2p work;
+//  - CollRequest::test()/wait(), which also drive Universe::progress so a
+//    rank blocked only on the collective still pumps the fabric.
+//
+// advance() is serialized by the op's own mutex; inside it only
+// non-progressing completion polls (Request::poll) and new coll_* posts
+// happen, so it is safe in hook context (worker busy flag held, protocol
+// mutex released).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "p2p/coll/topology.hpp"
+#include "p2p/communicator.hpp"
+
+namespace mpicd::p2p::coll {
+
+class CollOp {
+public:
+    explicit CollOp(Communicator& comm);
+    virtual ~CollOp() = default;
+    CollOp(const CollOp&) = delete;
+    CollOp& operator=(const CollOp&) = delete;
+
+    // Advance the state machine: poll tracked requests, enter the next
+    // phase(s) when the current one drained. Returns true if anything
+    // moved. Thread-safe; never drives fabric progress.
+    bool advance();
+
+    [[nodiscard]] bool done() const noexcept {
+        return done_.load(std::memory_order_acquire);
+    }
+    // First error any tracked request completed with (success while
+    // running). Stable once done() is true.
+    [[nodiscard]] Status status() const noexcept {
+        return status_.load(std::memory_order_acquire);
+    }
+
+    // Called by CollRequest::wait after a long streak of globally idle
+    // progress calls: advances this rank's virtual clock so the loss
+    // watchdog (armed only under an active fault injector) can fire even
+    // when the whole fabric is quiescent — e.g. every peer's retransmit
+    // budget is already exhausted and no timer remains to escalate to.
+    void on_stall();
+
+protected:
+    // Contiguous collective-tag block reserved per operation; phases and
+    // rounds index into it (subtag < kCollTagStride always, with room to
+    // spare — the deepest schedule uses ~2*log2(kMaxWorldSize) rounds).
+    static constexpr std::uint32_t kCollTagStride = 64;
+
+    // Post the operations of the next phase via track(), or call finish().
+    // Invoked under the op mutex whenever no tracked request remains; must
+    // do one or the other (posting nothing without finishing would spin).
+    // Not called again after finish() or after an error is recorded.
+    virtual void next_phase() = 0;
+
+    void track(Request rq) { pending_.push_back(std::move(rq)); }
+    void finish() noexcept { finishing_ = true; }
+    [[nodiscard]] std::uint32_t tag(std::uint32_t subtag) const noexcept {
+        return base_tag_ + subtag;
+    }
+
+    Communicator& comm_;
+    const TopologyMap topo_;
+
+private:
+    const std::uint32_t base_tag_;
+    std::mutex mu_;
+    std::vector<Request> pending_; // posted, not yet completed
+    bool started_ = false;
+    bool finishing_ = false;
+    std::atomic<Status> status_{Status::success};
+    std::atomic<bool> done_{false};
+    // Loss watchdog (fault-injected fabrics only; 0 = disarmed). The
+    // point-to-point reliability watchdogs cover a receive only once its
+    // rendezvous started; a collective waiting on a peer that already gave
+    // up (retransmit budget exhausted) would otherwise wait forever on an
+    // eager receive no sender will ever satisfy. If no tracked request
+    // completes for `watchdog_us_` of virtual time, the op fails with
+    // Status::timeout and ABANDONS its posted requests — safe because the
+    // op's reserved tag block is never reused (the epoch counter only
+    // moves forward), so an abandoned receive can never match later
+    // traffic.
+    SimTime watchdog_us_ = 0.0;
+    SimTime last_move_vtime_ = 0.0;
+};
+
+// Handle to an in-flight collective. Copyable (shared state); composable:
+// hold several and wait in any order, or pass a batch to wait_all below.
+class CollRequest {
+public:
+    CollRequest() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return op_ != nullptr; }
+
+    // Nonblocking completion check; progresses the universe once (the
+    // worker progress hook advances the op as a side effect).
+    [[nodiscard]] bool test();
+
+    // Progress until complete; aborts after a long wall-clock interval
+    // with no completion (a deadlock in test code). Returns the
+    // collective's status. An invalid (default) request is err_arg.
+    Status wait();
+
+private:
+    friend CollRequest launch(Communicator& comm, std::shared_ptr<CollOp> op);
+    friend CollRequest error_request(Status st);
+
+    Universe* uni_ = nullptr;
+    int ep_ = -1;
+    std::shared_ptr<CollOp> op_;
+    // Validation failed before any op was created (also the result of a
+    // default-constructed request). No tag block was reserved, so a rank
+    // failing local validation does not desynchronize the epoch counter.
+    Status early_error_ = Status::err_arg;
+};
+
+// Start `op`: run its first phase synchronously (so every rank's initial
+// receives/sends are posted on entry, preserving collective entry order)
+// and install a worker progress hook that keeps advancing it until done.
+[[nodiscard]] CollRequest launch(Communicator& comm, std::shared_ptr<CollOp> op);
+
+// An already-failed request carrying a local validation error.
+[[nodiscard]] CollRequest error_request(Status st);
+
+// Wait for every collective request; returns the first non-success status
+// (all requests are waited regardless).
+[[nodiscard]] Status wait_all(std::span<CollRequest> requests);
+
+} // namespace mpicd::p2p::coll

@@ -1,0 +1,47 @@
+// Communication schedules shared by the collective algorithms: binomial
+// trees (bcast / reduce) and dissemination rounds (barrier). All helpers
+// work in a root-rotated virtual rank space so any rank can be the root.
+#pragma once
+
+#include <vector>
+
+namespace mpicd::p2p::coll {
+
+// ceil(log2(n)) — the number of dissemination / binomial rounds for n
+// participants (0 for n <= 1).
+[[nodiscard]] constexpr int log2_rounds(int n) noexcept {
+    int rounds = 0;
+    for (int span = 1; span < n; span <<= 1) ++rounds;
+    return rounds;
+}
+
+// Virtual rank of `rank` in the tree rooted at `root` (and back).
+[[nodiscard]] constexpr int to_vrank(int rank, int root, int n) noexcept {
+    return (rank - root + n) % n;
+}
+[[nodiscard]] constexpr int from_vrank(int vrank, int root, int n) noexcept {
+    return (vrank + root) % n;
+}
+
+// Binomial-tree parent of virtual rank `vr` (-1 for the root). The tree
+// clears the lowest set bit: vr receives from vr - 2^k where 2^k is the
+// lowest set bit of vr.
+[[nodiscard]] constexpr int bin_parent(int vr) noexcept {
+    return vr == 0 ? -1 : vr - (vr & -vr);
+}
+
+// Binomial-tree children of virtual rank `vr` among n participants, in the
+// order a binomial bcast reaches them (largest subtree first). vr's
+// children are vr + 2^k for every 2^k above vr's lowest set bit (all bits
+// for the root) that stays below n.
+[[nodiscard]] inline std::vector<int> bin_children(int vr, int n) {
+    std::vector<int> kids;
+    const int low = vr == 0 ? n : (vr & -vr);
+    for (int bit = 1; bit < low && vr + bit < n; bit <<= 1) kids.push_back(vr + bit);
+    // Largest subtree first so deep subtrees start earliest.
+    for (std::size_t i = 0, j = kids.size(); i + 1 < j; ++i, --j)
+        std::swap(kids[i], kids[j - 1]);
+    return kids;
+}
+
+} // namespace mpicd::p2p::coll

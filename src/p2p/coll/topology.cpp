@@ -1,0 +1,86 @@
+#include "p2p/coll/topology.hpp"
+
+#include "base/config.hpp"
+#include "base/log.hpp"
+#include "base/metrics.hpp"
+#include "p2p/communicator.hpp"
+
+namespace mpicd::p2p::coll {
+
+TopologyMap TopologyMap::create(Communicator& comm) {
+    TopologyMap t;
+    t.size = comm.size();
+    t.rank = comm.rank();
+    const int rpn = comm.worker().fabric().params().ranks_per_node;
+    // A flat fabric (rpn == 0) or one node wide enough for the whole world
+    // degenerates to a single node.
+    t.ranks_per_node = (rpn > 0 && rpn < t.size) ? rpn : t.size;
+    t.node_count = (t.size + t.ranks_per_node - 1) / t.ranks_per_node;
+    return t;
+}
+
+namespace {
+
+// -1 = unset; otherwise static_cast<int>(Algo).
+std::atomic<int> g_algo_override{-1};
+
+enum class AlgoMode { automatic, flat, hier };
+
+AlgoMode algo_mode_from_env() {
+    const auto v = env_string("MPICD_COLL_ALGO");
+    if (!v || v->empty() || *v == "auto") return AlgoMode::automatic;
+    if (*v == "flat") return AlgoMode::flat;
+    if (*v == "hier") return AlgoMode::hier;
+    // Reached at most once (the result is cached below).
+    MPICD_LOG_WARN("MPICD_COLL_ALGO='" << *v
+                                       << "' is not auto/flat/hier; using auto");
+    return AlgoMode::automatic;
+}
+
+AlgoMode algo_mode() {
+    static const AlgoMode mode = algo_mode_from_env();
+    return mode;
+}
+
+} // namespace
+
+void set_algo_override(std::optional<Algo> algo) noexcept {
+    g_algo_override.store(algo ? static_cast<int>(*algo) : -1,
+                          std::memory_order_relaxed);
+}
+
+Algo select_algo(const TopologyMap& topo) {
+    Algo a = Algo::flat;
+    const int ov = g_algo_override.load(std::memory_order_relaxed);
+    if (ov >= 0) {
+        a = static_cast<Algo>(ov);
+    } else {
+        switch (algo_mode()) {
+            case AlgoMode::flat: a = Algo::flat; break;
+            case AlgoMode::hier: a = Algo::hier; break;
+            case AlgoMode::automatic:
+                a = topo.two_level() ? Algo::hier : Algo::flat;
+                break;
+        }
+    }
+    // A forced hier on a single-node topology has no leaders to use.
+    if (a == Algo::hier && !topo.two_level()) a = Algo::flat;
+    auto& c = coll_counters();
+    if (a == Algo::hier)
+        c.hier_selected.fetch_add(1, std::memory_order_relaxed);
+    else
+        c.flat_selected.fetch_add(1, std::memory_order_relaxed);
+    return a;
+}
+
+CollCounters& coll_counters() noexcept {
+    static CollCounters c{
+        metrics().counter("coll", "ops"),
+        metrics().counter("coll", "flat_selected"),
+        metrics().counter("coll", "hier_selected"),
+        metrics().counter("coll", "leader_bytes"),
+    };
+    return c;
+}
+
+} // namespace mpicd::p2p::coll

@@ -1,0 +1,93 @@
+// Two-level topology model for collective algorithm selection.
+//
+// The simulated fabric assigns endpoints to nodes in rank order
+// (MPICD_RANKS_PER_NODE; see netsim/wire_model.hpp): links inside a node
+// run on the fast intra plane, links between nodes on the (typically
+// slower) inter plane. TopologyMap exposes that structure to the
+// collective algorithms so they can route bulk traffic through one
+// leader per node instead of hammering the inter-node plane with
+// per-rank messages (docs/COLLECTIVES.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/bytes.hpp"
+
+namespace mpicd::p2p {
+class Communicator;
+}
+
+namespace mpicd::p2p::coll {
+
+struct TopologyMap {
+    int size = 1;
+    int rank = 0;
+    // Ranks per node as modeled by the fabric; size (a single node) when
+    // the fabric is flat. Nodes are contiguous rank ranges, the lowest
+    // rank of each node is its leader.
+    int ranks_per_node = 1;
+    int node_count = 1;
+
+    [[nodiscard]] static TopologyMap create(Communicator& comm);
+
+    [[nodiscard]] int node_of(int r) const noexcept { return r / ranks_per_node; }
+    [[nodiscard]] int leader_of(int r) const noexcept {
+        return node_of(r) * ranks_per_node;
+    }
+    [[nodiscard]] bool is_leader(int r) const noexcept { return r == leader_of(r); }
+    [[nodiscard]] bool cross_node(int a, int b) const noexcept {
+        return node_of(a) != node_of(b);
+    }
+    // First rank of node b / one past its last rank (the last node may be
+    // ragged when size is not a multiple of ranks_per_node).
+    [[nodiscard]] int node_begin(int b) const noexcept { return b * ranks_per_node; }
+    [[nodiscard]] int node_end(int b) const noexcept {
+        const int e = (b + 1) * ranks_per_node;
+        return e < size ? e : size;
+    }
+    [[nodiscard]] int node_size(int b) const noexcept {
+        return node_end(b) - node_begin(b);
+    }
+    [[nodiscard]] std::vector<int> leaders() const {
+        std::vector<int> ls(static_cast<std::size_t>(node_count));
+        for (int b = 0; b < node_count; ++b)
+            ls[static_cast<std::size_t>(b)] = node_begin(b);
+        return ls;
+    }
+    // A hierarchical algorithm only has something to aggregate when there
+    // are at least two nodes and at least one node holds several ranks.
+    [[nodiscard]] bool two_level() const noexcept {
+        return node_count > 1 && ranks_per_node > 1;
+    }
+};
+
+// Collective algorithm family. `flat` ignores the node structure
+// (binomial / dissemination / direct exchange over ranks); `hier` routes
+// bulk traffic through one leader per node.
+enum class Algo { flat, hier };
+
+// Pick the algorithm for a collective on `topo`: MPICD_COLL_ALGO
+// (flat | hier | auto, cached on first use) or a set_algo_override()
+// from bench/test code wins; `auto` selects hier exactly when the
+// topology is two-level. Increments the coll/flat_selected or
+// coll/hier_selected counter.
+[[nodiscard]] Algo select_algo(const TopologyMap& topo);
+
+// Force an algorithm (or std::nullopt to return to env/auto selection).
+void set_algo_override(std::optional<Algo> algo) noexcept;
+
+// coll/* counters in the MetricsRegistry: collectives started, algorithm
+// selections, and payload bytes hierarchical algorithms pushed across the
+// inter-node plane. References are stable for the process lifetime.
+struct CollCounters {
+    std::atomic<std::uint64_t>& ops;           // collective operations started
+    std::atomic<std::uint64_t>& flat_selected; // select_algo -> flat
+    std::atomic<std::uint64_t>& hier_selected; // select_algo -> hier
+    std::atomic<std::uint64_t>& leader_bytes;  // hier payload bytes inter-node
+};
+[[nodiscard]] CollCounters& coll_counters() noexcept;
+
+} // namespace mpicd::p2p::coll

@@ -1,0 +1,446 @@
+#include "p2p/coll/vcoll.hpp"
+
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+namespace mpicd::p2p::coll {
+
+namespace {
+
+// Every blocking v-collective reserves one tag block, mirroring the
+// nonblocking ops, so concurrent p2p traffic and later collectives can
+// never alias its rounds. Subtags: 0 = data / member->leader, 1 =
+// leader<->leader superblocks, 2 = leader->member result.
+constexpr std::uint32_t kStride = 64;
+
+[[nodiscard]] std::byte* at(void* base, Count off) noexcept {
+    return static_cast<std::byte*>(base) + off;
+}
+[[nodiscard]] const std::byte* at(const void* base, Count off) noexcept {
+    return static_cast<const std::byte*>(base) + off;
+}
+
+void copy_block(void* dst, const void* src, Count n) noexcept {
+    if (n > 0) std::memcpy(dst, src, static_cast<std::size_t>(n));
+}
+
+[[nodiscard]] bool spans_cover(const Communicator& comm,
+                               std::initializer_list<std::size_t> sizes) {
+    for (const std::size_t s : sizes)
+        if (s < static_cast<std::size_t>(comm.size())) return false;
+    return true;
+}
+
+void note_op() { coll_counters().ops.fetch_add(1, std::memory_order_relaxed); }
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Raw bytes
+
+Status gatherv_bytes(Communicator& comm, const void* send, Count sendn,
+                     void* recv, std::span<const Count> recvcounts,
+                     std::span<const Count> displs, int root) {
+    if (!ok(comm.status())) return comm.status();
+    if (root < 0 || root >= comm.size() || sendn < 0) return Status::err_arg;
+    if (sendn > 0 && send == nullptr) return Status::err_arg;
+    const int n = comm.size(), r = comm.rank();
+    if (r == root) {
+        if (!spans_cover(comm, {recvcounts.size(), displs.size()}))
+            return Status::err_arg;
+        if (recvcounts[static_cast<std::size_t>(r)] != sendn)
+            return Status::err_arg;
+        for (int src = 0; src < n; ++src) {
+            const Count c = recvcounts[static_cast<std::size_t>(src)];
+            if (c < 0 || (c > 0 && recv == nullptr)) return Status::err_arg;
+        }
+    }
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    if (r == root) {
+        for (int src = 0; src < n; ++src) {
+            const Count c = recvcounts[static_cast<std::size_t>(src)];
+            if (c == 0) continue;
+            if (src == r) {
+                copy_block(at(recv, displs[static_cast<std::size_t>(src)]), send, c);
+            } else {
+                reqs.push_back(comm.coll_irecv_bytes(
+                    at(recv, displs[static_cast<std::size_t>(src)]), c, src, base));
+            }
+        }
+    } else if (sendn > 0) {
+        reqs.push_back(comm.coll_isend_bytes(send, sendn, root, base));
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+namespace {
+
+Status allgatherv_flat(Communicator& comm, const void* send, Count sendn,
+                       void* recv, std::span<const Count> counts,
+                       std::span<const Count> displs, std::uint32_t base) {
+    const int n = comm.size(), r = comm.rank();
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+        const Count c = counts[static_cast<std::size_t>(peer)];
+        if (peer == r) {
+            copy_block(at(recv, displs[static_cast<std::size_t>(peer)]), send, c);
+            continue;
+        }
+        if (c > 0)
+            reqs.push_back(comm.coll_irecv_bytes(
+                at(recv, displs[static_cast<std::size_t>(peer)]), c, peer, base));
+        if (sendn > 0)
+            reqs.push_back(comm.coll_isend_bytes(send, sendn, peer, base));
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+// Hierarchical allgatherv: members hand their block to the node leader;
+// leaders exchange ONE aggregated superblock per node pair on the
+// inter-node plane (the packed layout orders blocks by rank, so each
+// node's superblock is contiguous); leaders then push the full packed
+// result to their members, who scatter it into their own displacements.
+Status allgatherv_hier(Communicator& comm, const void* send, Count sendn,
+                       void* recv, std::span<const Count> counts,
+                       std::span<const Count> displs, std::uint32_t base,
+                       const TopologyMap& topo) {
+    const int n = comm.size(), r = comm.rank();
+    // Packed offsets: rank i's block at packed[i]; node superblocks are
+    // contiguous because nodes are contiguous rank ranges.
+    std::vector<Count> packed(static_cast<std::size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i)
+        packed[static_cast<std::size_t>(i) + 1] =
+            packed[static_cast<std::size_t>(i)] + counts[static_cast<std::size_t>(i)];
+    const Count total = packed[static_cast<std::size_t>(n)];
+
+    const int lead = topo.leader_of(r);
+    if (!topo.is_leader(r)) {
+        // Member: contribute, then take the packed result and scatter it.
+        {
+            std::vector<Request> reqs;
+            if (sendn > 0)
+                reqs.push_back(comm.coll_isend_bytes(send, sendn, lead, base));
+            MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
+        }
+        std::vector<std::byte> all(static_cast<std::size_t>(total));
+        {
+            std::vector<Request> reqs;
+            if (total > 0)
+                reqs.push_back(
+                    comm.coll_irecv_bytes(all.data(), total, lead, base + 2));
+            MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
+        }
+        for (int i = 0; i < n; ++i)
+            copy_block(at(recv, displs[static_cast<std::size_t>(i)]),
+                       all.data() + packed[static_cast<std::size_t>(i)],
+                       counts[static_cast<std::size_t>(i)]);
+        return Status::success;
+    }
+
+    // Leader: assemble the packed buffer from the node's contributions.
+    const int b = topo.node_of(r);
+    std::vector<std::byte> all(static_cast<std::size_t>(total));
+    {
+        std::vector<Request> reqs;
+        for (int m = topo.node_begin(b); m < topo.node_end(b); ++m) {
+            const Count c = counts[static_cast<std::size_t>(m)];
+            if (m == r) {
+                copy_block(all.data() + packed[static_cast<std::size_t>(m)], send, c);
+            } else if (c > 0) {
+                reqs.push_back(comm.coll_irecv_bytes(
+                    all.data() + packed[static_cast<std::size_t>(m)], c, m, base));
+            }
+        }
+        MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
+    }
+    {
+        // Superblock exchange with every other leader (inter-node plane).
+        const Count own_off = packed[static_cast<std::size_t>(topo.node_begin(b))];
+        const Count own_len =
+            packed[static_cast<std::size_t>(topo.node_end(b))] - own_off;
+        std::vector<Request> reqs;
+        for (int bb = 0; bb < topo.node_count; ++bb) {
+            if (bb == b) continue;
+            const int peer = topo.node_begin(bb);
+            const Count off = packed[static_cast<std::size_t>(topo.node_begin(bb))];
+            const Count len =
+                packed[static_cast<std::size_t>(topo.node_end(bb))] - off;
+            if (len > 0)
+                reqs.push_back(
+                    comm.coll_irecv_bytes(all.data() + off, len, peer, base + 1));
+            if (own_len > 0) {
+                coll_counters().leader_bytes.fetch_add(
+                    static_cast<std::uint64_t>(own_len), std::memory_order_relaxed);
+                reqs.push_back(comm.coll_isend_bytes(all.data() + own_off, own_len,
+                                                     peer, base + 1));
+            }
+        }
+        MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
+    }
+    {
+        // Push the packed result to the node's members.
+        std::vector<Request> reqs;
+        for (int m = topo.node_begin(b); m < topo.node_end(b); ++m) {
+            if (m == r || total == 0) continue;
+            reqs.push_back(comm.coll_isend_bytes(all.data(), total, m, base + 2));
+        }
+        MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
+    }
+    for (int i = 0; i < n; ++i)
+        copy_block(at(recv, displs[static_cast<std::size_t>(i)]),
+                   all.data() + packed[static_cast<std::size_t>(i)],
+                   counts[static_cast<std::size_t>(i)]);
+    return Status::success;
+}
+
+} // namespace
+
+Status allgatherv_bytes(Communicator& comm, const void* send, Count sendn,
+                        void* recv, std::span<const Count> counts,
+                        std::span<const Count> displs) {
+    if (!ok(comm.status())) return comm.status();
+    if (!spans_cover(comm, {counts.size(), displs.size()})) return Status::err_arg;
+    if (sendn < 0 || (sendn > 0 && send == nullptr)) return Status::err_arg;
+    if (counts[static_cast<std::size_t>(comm.rank())] != sendn)
+        return Status::err_arg;
+    for (int i = 0; i < comm.size(); ++i) {
+        const Count c = counts[static_cast<std::size_t>(i)];
+        if (c < 0 || (c > 0 && recv == nullptr)) return Status::err_arg;
+    }
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    const TopologyMap topo = TopologyMap::create(comm);
+    if (select_algo(topo) == Algo::hier)
+        return allgatherv_hier(comm, send, sendn, recv, counts, displs, base, topo);
+    return allgatherv_flat(comm, send, sendn, recv, counts, displs, base);
+}
+
+Status alltoallv_bytes(Communicator& comm, const void* send,
+                       std::span<const Count> sendcounts,
+                       std::span<const Count> sdispls, void* recv,
+                       std::span<const Count> recvcounts,
+                       std::span<const Count> rdispls) {
+    if (!ok(comm.status())) return comm.status();
+    if (!spans_cover(comm, {sendcounts.size(), sdispls.size(), recvcounts.size(),
+                            rdispls.size()}))
+        return Status::err_arg;
+    const int n = comm.size(), r = comm.rank();
+    for (int peer = 0; peer < n; ++peer) {
+        const Count sc = sendcounts[static_cast<std::size_t>(peer)];
+        const Count rc = recvcounts[static_cast<std::size_t>(peer)];
+        if (sc < 0 || rc < 0) return Status::err_arg;
+        if (sc > 0 && send == nullptr) return Status::err_arg;
+        if (rc > 0 && recv == nullptr) return Status::err_arg;
+    }
+    if (sendcounts[static_cast<std::size_t>(r)] !=
+        recvcounts[static_cast<std::size_t>(r)])
+        return Status::err_arg;
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+        const Count sc = sendcounts[static_cast<std::size_t>(peer)];
+        const Count rc = recvcounts[static_cast<std::size_t>(peer)];
+        if (peer == r) {
+            copy_block(at(recv, rdispls[static_cast<std::size_t>(peer)]),
+                       at(send, sdispls[static_cast<std::size_t>(peer)]), sc);
+            continue;
+        }
+        if (rc > 0)
+            reqs.push_back(comm.coll_irecv_bytes(
+                at(recv, rdispls[static_cast<std::size_t>(peer)]), rc, peer, base));
+        if (sc > 0)
+            reqs.push_back(comm.coll_isend_bytes(
+                at(send, sdispls[static_cast<std::size_t>(peer)]), sc, peer, base));
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+// ---------------------------------------------------------------------------
+// Derived datatypes
+
+Status gatherv(Communicator& comm, const void* send, Count sendcount,
+               const dt::TypeRef& sendtype, void* recv,
+               std::span<const Count> recvcounts, std::span<const Count> displs,
+               const dt::TypeRef& recvtype, int root) {
+    if (!ok(comm.status())) return comm.status();
+    if (root < 0 || root >= comm.size() || sendcount < 0) return Status::err_arg;
+    if (sendtype == nullptr) return Status::err_arg;
+    if (!sendtype->committed()) return Status::err_not_committed;
+    const int n = comm.size(), r = comm.rank();
+    if (r == root) {
+        if (recvtype == nullptr) return Status::err_arg;
+        if (!recvtype->committed()) return Status::err_not_committed;
+        if (!spans_cover(comm, {recvcounts.size(), displs.size()}))
+            return Status::err_arg;
+        for (int src = 0; src < n; ++src)
+            if (recvcounts[static_cast<std::size_t>(src)] < 0)
+                return Status::err_arg;
+    }
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    if (r == root) {
+        for (int src = 0; src < n; ++src) {
+            const Count c = recvcounts[static_cast<std::size_t>(src)];
+            if (c == 0) continue;
+            void* dst = at(recv, displs[static_cast<std::size_t>(src)] *
+                                     recvtype->extent());
+            // Typed self-delivery goes through the loopback link so the
+            // send/receive type pair is honored like any other rank's.
+            reqs.push_back(comm.coll_irecv(dst, c, recvtype, src, base));
+        }
+        if (sendcount > 0)
+            reqs.push_back(comm.coll_isend(send, sendcount, sendtype, r, base));
+    } else if (sendcount > 0) {
+        reqs.push_back(comm.coll_isend(send, sendcount, sendtype, root, base));
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+Status allgatherv(Communicator& comm, const void* send, Count sendcount,
+                  const dt::TypeRef& sendtype, void* recv,
+                  std::span<const Count> recvcounts, std::span<const Count> displs,
+                  const dt::TypeRef& recvtype) {
+    if (!ok(comm.status())) return comm.status();
+    if (sendtype == nullptr || recvtype == nullptr || sendcount < 0)
+        return Status::err_arg;
+    if (!sendtype->committed() || !recvtype->committed())
+        return Status::err_not_committed;
+    if (!spans_cover(comm, {recvcounts.size(), displs.size()}))
+        return Status::err_arg;
+    const int n = comm.size();
+    for (int i = 0; i < n; ++i)
+        if (recvcounts[static_cast<std::size_t>(i)] < 0) return Status::err_arg;
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+        const Count c = recvcounts[static_cast<std::size_t>(peer)];
+        if (c > 0) {
+            void* dst = at(recv, displs[static_cast<std::size_t>(peer)] *
+                                     recvtype->extent());
+            reqs.push_back(comm.coll_irecv(dst, c, recvtype, peer, base));
+        }
+        if (sendcount > 0)
+            reqs.push_back(comm.coll_isend(send, sendcount, sendtype, peer, base));
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+Status alltoallv(Communicator& comm, const void* send,
+                 std::span<const Count> sendcounts, std::span<const Count> sdispls,
+                 const dt::TypeRef& sendtype, void* recv,
+                 std::span<const Count> recvcounts, std::span<const Count> rdispls,
+                 const dt::TypeRef& recvtype) {
+    if (!ok(comm.status())) return comm.status();
+    if (sendtype == nullptr || recvtype == nullptr) return Status::err_arg;
+    if (!sendtype->committed() || !recvtype->committed())
+        return Status::err_not_committed;
+    if (!spans_cover(comm, {sendcounts.size(), sdispls.size(), recvcounts.size(),
+                            rdispls.size()}))
+        return Status::err_arg;
+    const int n = comm.size();
+    for (int i = 0; i < n; ++i)
+        if (sendcounts[static_cast<std::size_t>(i)] < 0 ||
+            recvcounts[static_cast<std::size_t>(i)] < 0)
+            return Status::err_arg;
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+        const Count sc = sendcounts[static_cast<std::size_t>(peer)];
+        const Count rc = recvcounts[static_cast<std::size_t>(peer)];
+        if (rc > 0) {
+            void* dst = at(recv, rdispls[static_cast<std::size_t>(peer)] *
+                                     recvtype->extent());
+            reqs.push_back(comm.coll_irecv(dst, rc, recvtype, peer, base));
+        }
+        if (sc > 0) {
+            const void* src = at(send, sdispls[static_cast<std::size_t>(peer)] *
+                                           sendtype->extent());
+            reqs.push_back(comm.coll_isend(src, sc, sendtype, peer, base));
+        }
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+// ---------------------------------------------------------------------------
+// Custom datatypes (object granularity; receiver-side §VI size contract)
+
+Status gatherv_custom(Communicator& comm, const void* send,
+                      const core::CustomDatatype& type,
+                      std::span<void* const> recv, int root) {
+    if (!ok(comm.status())) return comm.status();
+    if (root < 0 || root >= comm.size() || send == nullptr) return Status::err_arg;
+    const int n = comm.size(), r = comm.rank();
+    if (r == root) {
+        if (recv.size() < static_cast<std::size_t>(n)) return Status::err_arg;
+        for (int src = 0; src < n; ++src)
+            if (recv[static_cast<std::size_t>(src)] == nullptr)
+                return Status::err_arg;
+    }
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    if (r == root) {
+        for (int src = 0; src < n; ++src)
+            reqs.push_back(comm.coll_irecv_custom(
+                recv[static_cast<std::size_t>(src)], 1, type, src, base));
+    }
+    // Every rank — including the root, via the loopback link, so the
+    // pack/unpack callbacks run for its own object too — contributes one
+    // object.
+    reqs.push_back(comm.coll_isend_custom(send, 1, type, root, base));
+    return wait_all(std::span<Request>(reqs));
+}
+
+Status allgatherv_custom(Communicator& comm, const void* send,
+                         const core::CustomDatatype& type,
+                         std::span<void* const> recv) {
+    if (!ok(comm.status())) return comm.status();
+    if (send == nullptr) return Status::err_arg;
+    const int n = comm.size();
+    if (recv.size() < static_cast<std::size_t>(n)) return Status::err_arg;
+    for (int peer = 0; peer < n; ++peer)
+        if (recv[static_cast<std::size_t>(peer)] == nullptr)
+            return Status::err_arg;
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+        reqs.push_back(comm.coll_irecv_custom(recv[static_cast<std::size_t>(peer)],
+                                              1, type, peer, base));
+        reqs.push_back(comm.coll_isend_custom(send, 1, type, peer, base));
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+Status alltoallv_custom(Communicator& comm, std::span<const void* const> send,
+                        std::span<void* const> recv,
+                        const core::CustomDatatype& type) {
+    if (!ok(comm.status())) return comm.status();
+    const int n = comm.size();
+    if (send.size() < static_cast<std::size_t>(n) ||
+        recv.size() < static_cast<std::size_t>(n))
+        return Status::err_arg;
+    for (int peer = 0; peer < n; ++peer)
+        if (send[static_cast<std::size_t>(peer)] == nullptr ||
+            recv[static_cast<std::size_t>(peer)] == nullptr)
+            return Status::err_arg;
+    const auto base = comm.coll_reserve_tags(kStride);
+    note_op();
+    std::vector<Request> reqs;
+    for (int peer = 0; peer < n; ++peer) {
+        reqs.push_back(comm.coll_irecv_custom(recv[static_cast<std::size_t>(peer)],
+                                              1, type, peer, base));
+        reqs.push_back(comm.coll_isend_custom(
+            send[static_cast<std::size_t>(peer)], 1, type, peer, base));
+    }
+    return wait_all(std::span<Request>(reqs));
+}
+
+} // namespace mpicd::p2p::coll

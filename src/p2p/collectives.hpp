@@ -1,57 +1,58 @@
 // Collective operations — the paper's future-work extension (§VIII: "We
 // also leave the integration with collective operations as future work").
 //
-// This module provides the standard set over contiguous byte payloads and
-// derived datatypes, built from point-to-point primitives with the usual
-// logarithmic algorithms:
-//   barrier     dissemination
-//   bcast       binomial tree
-//   gather      linear fan-in to the root
-//   allreduce   recursive doubling (doubles / int64, sum/min/max)
+// Blocking wrappers around the nonblocking collectives in
+// p2p/coll/nonblocking.hpp; see that header (and docs/COLLECTIVES.md) for
+// the algorithms and the topology-aware selection. The v-variants
+// (per-rank variable counts) live in p2p/coll/vcoll.hpp.
+//
+// All collective traffic runs on a reserved tag context
+// (kCollContextBit), so it can never collide with point-to-point
+// traffic on ANY user tag — the tag parameters the historical API took
+// (and the 0x7FFF0000-window convention they implied) are gone.
 //
 // Custom datatypes are supported for bcast (every non-root receives with
 // its own custom type, so the receive-side size contract of §VI holds);
 // reductions over custom types would need the predefined-type information
 // the paper discusses in §VI and are intentionally not offered.
 //
-// All collectives are blocking and must be entered by every rank of the
-// universe (they progress the fabric internally).
+// All collectives here block until completion and must be entered by
+// every rank of the universe in the same order (they progress the fabric
+// internally).
 #pragma once
 
-#include "core/custom_type.hpp"
-#include "p2p/communicator.hpp"
+#include "p2p/coll/nonblocking.hpp"
 
 namespace mpicd::p2p {
 
-enum class ReduceOp { sum, min, max };
-
 // Synchronize all ranks (dissemination barrier).
-[[nodiscard]] Status barrier(Communicator& comm, int tag = 0x7FFF0000);
+[[nodiscard]] Status barrier(Communicator& comm);
 
-// Broadcast `n` raw bytes from `root` (binomial tree).
-[[nodiscard]] Status bcast_bytes(Communicator& comm, void* buf, Count n, int root,
-                                 int tag = 0x7FFF0001);
+// Broadcast `n` raw bytes from `root` (binomial tree; hierarchical on
+// two-level topologies).
+[[nodiscard]] Status bcast_bytes(Communicator& comm, void* buf, Count n, int root);
 
 // Broadcast `count` elements of a committed derived datatype from `root`.
 [[nodiscard]] Status bcast(Communicator& comm, void* buf, Count count,
-                           const dt::TypeRef& type, int root, int tag = 0x7FFF0002);
+                           const dt::TypeRef& type, int root);
 
 // Broadcast a custom-datatype buffer from `root`. Every rank passes its
 // own (pre-shaped) object; non-roots receive into it.
 [[nodiscard]] Status bcast_custom(Communicator& comm, void* buf, Count count,
-                                  const core::CustomDatatype& type, int root,
-                                  int tag = 0x7FFF0003);
+                                  const core::CustomDatatype& type, int root);
 
 // Gather `n` bytes from every rank into `recv` (rank i's block at i*n) at
-// the root; `recv` may be null on non-roots.
+// the root; `recv` may be null on non-roots (and everywhere when n == 0).
 [[nodiscard]] Status gather_bytes(Communicator& comm, const void* send, Count n,
-                                  void* recv, int root, int tag = 0x7FFF0004);
+                                  void* recv, int root);
 
-// Element-wise allreduce over doubles / int64 (recursive doubling with a
-// linear fallback for non-power-of-two stragglers).
+// Element-wise allreduce over doubles / int64 (binomial-tree reduction to
+// rank 0 followed by a binomial broadcast — NOT recursive doubling; see
+// docs/COLLECTIVES.md for the cost model and the NaN semantics of
+// ReduceOp::min/max, which follow std::min/std::max).
 [[nodiscard]] Status allreduce(Communicator& comm, double* data, Count count,
-                               ReduceOp op, int tag = 0x7FFF0005);
+                               ReduceOp op);
 [[nodiscard]] Status allreduce(Communicator& comm, std::int64_t* data, Count count,
-                               ReduceOp op, int tag = 0x7FFF0006);
+                               ReduceOp op);
 
 } // namespace mpicd::p2p

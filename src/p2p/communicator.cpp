@@ -59,7 +59,7 @@ bool Request::finalize_locked_completion(ucx::Completion&& comp, MsgStatus* out)
     return true;
 }
 
-bool Request::test(MsgStatus* out) {
+bool Request::poll(MsgStatus* out) {
     if (done_) {
         if (out != nullptr) *out = result_;
         return true;
@@ -76,9 +76,14 @@ bool Request::test(MsgStatus* out) {
         if (out != nullptr) *out = result_;
         return true;
     }
-    uni_->progress(worker_->endpoint());
     if (!worker_->is_complete(id_)) return false;
     return finalize_locked_completion(worker_->take_completion(id_), out);
+}
+
+bool Request::test(MsgStatus* out) {
+    if (poll(out)) return true;
+    uni_->progress(worker_->endpoint());
+    return poll(out);
 }
 
 MsgStatus Request::wait() {
@@ -109,6 +114,10 @@ Communicator::Communicator(Universe& uni, ucx::Worker& worker, int rank, int siz
     // encode_send_tag. Mark the communicator invalid instead.
     if (rank < 0 || size <= 0 || rank >= size || size > kMaxWorldSize)
         ctor_status_ = Status::err_arg;
+    // The top context bit selects the collective plane; a user context
+    // carrying it would let point-to-point traffic alias collective
+    // internals — the exact bug class the plane exists to prevent.
+    if ((context & kCollContextBit) != 0) ctor_status_ = Status::err_arg;
 }
 
 Status Communicator::check_send(int dst, int tag) const {
@@ -146,6 +155,104 @@ void Communicator::encode_recv_tag(int src, int tag, ucx::Tag* t, ucx::Tag* mask
     }
     *t = v;
     *mask = m;
+}
+
+ucx::Tag Communicator::encode_coll_send_tag(std::uint32_t ctag) const {
+    const auto ctx = static_cast<std::uint16_t>(context_ | kCollContextBit);
+    return (static_cast<ucx::Tag>(ctx) << kCtxShift) |
+           (static_cast<ucx::Tag>(static_cast<std::uint16_t>(rank_)) << kSrcShift) |
+           static_cast<ucx::Tag>(ctag);
+}
+
+void Communicator::encode_coll_recv_tag(int src, std::uint32_t ctag, ucx::Tag* t,
+                                        ucx::Tag* mask) const {
+    // Collective receives are always fully pinned: known source, known
+    // collective tag — wildcards have no business on this plane.
+    const auto ctx = static_cast<std::uint16_t>(context_ | kCollContextBit);
+    *t = (static_cast<ucx::Tag>(ctx) << kCtxShift) |
+         (static_cast<ucx::Tag>(static_cast<std::uint16_t>(src)) << kSrcShift) |
+         static_cast<ucx::Tag>(ctag);
+    *mask = kCtxMask | kSrcMask | kUserMask;
+}
+
+Status Communicator::check_coll_peer(int peer) const {
+    if (!ok(ctor_status_)) return ctor_status_;
+    if (peer < 0 || peer >= size_) return Status::err_arg;
+    return Status::success;
+}
+
+std::uint32_t Communicator::coll_reserve_tags(std::uint32_t n) {
+    return coll_epoch_.fetch_add(n, std::memory_order_relaxed);
+}
+
+Request Communicator::coll_isend_bytes(const void* p, Count n, int dst,
+                                       std::uint32_t ctag) {
+    if (n < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_coll_peer(dst); !ok(st))
+        return make_error_request(st);
+    return make_request(worker_.tag_send(dst, encode_coll_send_tag(ctag),
+                                         ucx::make_contig_send(p, n)));
+}
+
+Request Communicator::coll_irecv_bytes(void* p, Count n, int src,
+                                       std::uint32_t ctag) {
+    if (n < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_coll_peer(src); !ok(st))
+        return make_error_request(st);
+    ucx::Tag t = 0, mask = 0;
+    encode_coll_recv_tag(src, ctag, &t, &mask);
+    return make_request(worker_.tag_recv(t, mask, ucx::make_contig_recv(p, n)));
+}
+
+Request Communicator::coll_isend(const void* buf, Count count,
+                                 const dt::TypeRef& type, int dst,
+                                 std::uint32_t ctag) {
+    if (type == nullptr || count < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_coll_peer(dst); !ok(st))
+        return make_error_request(st);
+    if (!type->committed()) return make_error_request(Status::err_not_committed);
+    if (type->is_contiguous()) {
+        return make_request(
+            worker_.tag_send(dst, encode_coll_send_tag(ctag),
+                             ucx::make_contig_send(buf, type->size() * count)));
+    }
+    return make_request(worker_.tag_send(dst, encode_coll_send_tag(ctag),
+                                         dt_send_desc(type, buf, count)));
+}
+
+Request Communicator::coll_irecv(void* buf, Count count, const dt::TypeRef& type,
+                                 int src, std::uint32_t ctag) {
+    if (type == nullptr || count < 0) return make_error_request(Status::err_arg);
+    if (const Status st = check_coll_peer(src); !ok(st))
+        return make_error_request(st);
+    if (!type->committed()) return make_error_request(Status::err_not_committed);
+    ucx::Tag t = 0, mask = 0;
+    encode_coll_recv_tag(src, ctag, &t, &mask);
+    if (type->is_contiguous()) {
+        return make_request(worker_.tag_recv(
+            t, mask, ucx::make_contig_recv(buf, type->size() * count)));
+    }
+    return make_request(worker_.tag_recv(t, mask, dt_recv_desc(type, buf, count)));
+}
+
+Request Communicator::coll_isend_custom(const void* buf, Count count,
+                                        const core::CustomDatatype& type, int dst,
+                                        std::uint32_t ctag) {
+    if (const Status st = check_coll_peer(dst); !ok(st))
+        return make_error_request(st);
+    return isend_custom_wiretag(buf, count, type, dst, encode_coll_send_tag(ctag),
+                                core::CustomLowering::iov);
+}
+
+Request Communicator::coll_irecv_custom(void* buf, Count count,
+                                        const core::CustomDatatype& type, int src,
+                                        std::uint32_t ctag) {
+    if (const Status st = check_coll_peer(src); !ok(st))
+        return make_error_request(st);
+    ucx::Tag t = 0, mask = 0;
+    encode_coll_recv_tag(src, ctag, &t, &mask);
+    return irecv_custom_wiretag(buf, count, type, t, mask,
+                                core::CustomLowering::iov);
 }
 
 Request Communicator::make_request(ucx::RequestId id) {
@@ -290,11 +397,10 @@ Request Communicator::irecv(void* buf, Count count, const dt::TypeRef& type, int
     return make_request(worker_.tag_recv(t, mask, dt_recv_desc(type, buf, count)));
 }
 
-Request Communicator::isend_custom(const void* buf, Count count,
-                                   const core::CustomDatatype& type, int dst, int tag,
-                                   core::CustomLowering lowering) {
-    if (const Status st = check_send(dst, tag); !ok(st))
-        return make_error_request(st);
+Request Communicator::isend_custom_wiretag(const void* buf, Count count,
+                                           const core::CustomDatatype& type,
+                                           int dst, ucx::Tag wire_tag,
+                                           core::CustomLowering lowering) {
     // Allocate the message id before lowering so the engine's pack/lowering
     // spans and the transport's wire events all carry one id (tag_send
     // adopts an open scope instead of allocating its own).
@@ -302,7 +408,29 @@ Request Communicator::isend_custom(const void* buf, Count count,
     ucx::BufferDesc desc;
     const Status st = core::lower_custom_send(type, buf, count, worker_, &desc, lowering);
     if (!ok(st)) return make_error_request(st);
-    return make_request(worker_.tag_send(dst, encode_send_tag(tag), std::move(desc)));
+    return make_request(worker_.tag_send(dst, wire_tag, std::move(desc)));
+}
+
+Request Communicator::irecv_custom_wiretag(void* buf, Count count,
+                                           const core::CustomDatatype& type,
+                                           ucx::Tag t, ucx::Tag mask,
+                                           core::CustomLowering lowering) {
+    auto op = std::make_shared<core::CustomRecvOp>();
+    const Status st =
+        core::lower_custom_recv(type, buf, count, worker_, op.get(), lowering);
+    if (!ok(st)) return make_error_request(st);
+    Request rq = make_request(worker_.tag_recv(t, mask, std::move(op->desc())));
+    rq.custom_ = std::move(op);
+    return rq;
+}
+
+Request Communicator::isend_custom(const void* buf, Count count,
+                                   const core::CustomDatatype& type, int dst, int tag,
+                                   core::CustomLowering lowering) {
+    if (const Status st = check_send(dst, tag); !ok(st))
+        return make_error_request(st);
+    return isend_custom_wiretag(buf, count, type, dst, encode_send_tag(tag),
+                                lowering);
 }
 
 Request Communicator::irecv_custom(void* buf, Count count,
@@ -310,15 +438,9 @@ Request Communicator::irecv_custom(void* buf, Count count,
                                    core::CustomLowering lowering) {
     if (const Status st = check_recv(src, tag); !ok(st))
         return make_error_request(st);
-    auto op = std::make_shared<core::CustomRecvOp>();
-    const Status st =
-        core::lower_custom_recv(type, buf, count, worker_, op.get(), lowering);
-    if (!ok(st)) return make_error_request(st);
     ucx::Tag t = 0, mask = 0;
     encode_recv_tag(src, tag, &t, &mask);
-    Request rq = make_request(worker_.tag_recv(t, mask, std::move(op->desc())));
-    rq.custom_ = std::move(op);
-    return rq;
+    return irecv_custom_wiretag(buf, count, type, t, mask, lowering);
 }
 
 MsgStatus Communicator::send_bytes(const void* p, Count n, int dst, int tag) {

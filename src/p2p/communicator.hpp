@@ -4,6 +4,7 @@
 // matched probe (Mprobe), and virtual-time access.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -56,6 +57,12 @@ public:
     // Nonblocking completion check; progresses the universe once.
     [[nodiscard]] bool test(MsgStatus* out = nullptr);
 
+    // Completion check WITHOUT driving progress. Safe to call from a
+    // worker progress hook (see ucx::Worker::add_progress_hook), where
+    // re-entering progress() on the same worker would be a no-op and
+    // helping peers could recurse into the time-escalation machinery.
+    [[nodiscard]] bool poll(MsgStatus* out = nullptr);
+
     // Progress until complete. Aborts (with a log message) if no progress
     // is possible for a long wall-clock interval — a deadlock in test code.
     MsgStatus wait();
@@ -78,6 +85,15 @@ private:
 // 16-bit field, so ranks 0..65535 are representable and anything larger
 // would silently alias (rank 65536 would encode as rank 0).
 inline constexpr int kMaxWorldSize = 1 << 16;
+
+// Top bit of the 16-bit wire-tag context field: set on every collective
+// message, clear on every point-to-point message. This carves the tag
+// space into two planes that can never match each other, which is the
+// structural fix for the historical 0x7FFF0006-class collisions where a
+// collective's internal traffic landed on a user tag (see
+// docs/COLLECTIVES.md). User-supplied communicator contexts must leave
+// the bit clear.
+inline constexpr std::uint16_t kCollContextBit = 0x8000;
 
 class Communicator {
 public:
@@ -166,11 +182,57 @@ public:
     [[nodiscard]] Message mprobe(int src, int tag); // blocking
     [[nodiscard]] Request imrecv(Message& msg, void* p, Count n);
 
+    // --- Collective tag plane (used by src/p2p/coll/; see
+    // docs/COLLECTIVES.md). Collective traffic rides wire tags whose
+    // context field carries kCollContextBit, so it can never match (or be
+    // matched by) any point-to-point operation — including a user irecv
+    // with kAnyTag/kAnySource, whose mask still pins the context field.
+    //
+    // Tags come from a per-communicator epoch counter: every rank enters
+    // the communicator's collectives in the same order (the usual MPI
+    // ordering requirement), so independently incremented counters agree
+    // across ranks without any exchange. Each collective reserves a
+    // contiguous block of `n` tags (its internal rounds/phases index into
+    // the block) and the counter wraps harmlessly at 2^32: concurrent
+    // outstanding collectives never span anywhere near 4 billion tags.
+    [[nodiscard]] std::uint32_t coll_reserve_tags(std::uint32_t n);
+    [[nodiscard]] Request coll_isend_bytes(const void* p, Count n, int dst,
+                                           std::uint32_t ctag);
+    [[nodiscard]] Request coll_irecv_bytes(void* p, Count n, int src,
+                                           std::uint32_t ctag);
+    [[nodiscard]] Request coll_isend(const void* buf, Count count,
+                                     const dt::TypeRef& type, int dst,
+                                     std::uint32_t ctag);
+    [[nodiscard]] Request coll_irecv(void* buf, Count count,
+                                     const dt::TypeRef& type, int src,
+                                     std::uint32_t ctag);
+    [[nodiscard]] Request coll_isend_custom(const void* buf, Count count,
+                                            const core::CustomDatatype& type,
+                                            int dst, std::uint32_t ctag);
+    [[nodiscard]] Request coll_irecv_custom(void* buf, Count count,
+                                            const core::CustomDatatype& type,
+                                            int src, std::uint32_t ctag);
+
 private:
     friend class Request;
 
     [[nodiscard]] ucx::Tag encode_send_tag(int tag) const;
     void encode_recv_tag(int src, int tag, ucx::Tag* t, ucx::Tag* mask) const;
+    // Collective-plane encoders: context | kCollContextBit, full 32-bit
+    // unsigned collective tag in the user field.
+    [[nodiscard]] ucx::Tag encode_coll_send_tag(std::uint32_t ctag) const;
+    void encode_coll_recv_tag(int src, std::uint32_t ctag, ucx::Tag* t,
+                              ucx::Tag* mask) const;
+    [[nodiscard]] Status check_coll_peer(int peer) const;
+    // Shared custom-datatype lowering used by both tag planes.
+    [[nodiscard]] Request isend_custom_wiretag(const void* buf, Count count,
+                                               const core::CustomDatatype& type,
+                                               int dst, ucx::Tag wire_tag,
+                                               core::CustomLowering lowering);
+    [[nodiscard]] Request irecv_custom_wiretag(void* buf, Count count,
+                                               const core::CustomDatatype& type,
+                                               ucx::Tag t, ucx::Tag mask,
+                                               core::CustomLowering lowering);
     // Argument validation at tag-encode time (see the constructor note):
     // negative user tags would alias large positives in the 32-bit user
     // field, out-of-range peers would alias through the 16-bit source
@@ -186,6 +248,10 @@ private:
     int size_;
     std::uint16_t context_;
     Status ctor_status_ = Status::success; // err_arg when rank/size overflow
+    // Collective tag epoch (see coll_reserve_tags). Each rank holds its own
+    // Communicator object, so this is a per-(rank, communicator) counter
+    // that stays in lockstep across ranks by the collective-ordering rule.
+    std::atomic<std::uint32_t> coll_epoch_{0};
 };
 
 // Wait for every request; returns the first non-success status (all

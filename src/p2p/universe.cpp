@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "p2p/coll/topology.hpp"
 #include "p2p/communicator.hpp"
 
 namespace mpicd::p2p {
@@ -17,6 +18,8 @@ Universe::Universe(int nranks, netsim::WireParams params,
     // snapshot (and thus every BENCH_*.json) reports bypass rates, zero or
     // not.
     (void)core::fastpath_counters();
+    // Same for coll/*: collective op counts and algorithm selections.
+    (void)coll::coll_counters();
     workers_.reserve(static_cast<std::size_t>(nranks));
     comms_.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {

@@ -830,7 +830,49 @@ bool Worker::progress() {
         const std::lock_guard<std::mutex> lock(mutex_);
         did_work = fire_timers_locked() || did_work;
     }
+    // Hooks run with the busy flag still held so a hook is never
+    // re-entered on this worker, but with no protocol lock so it may post
+    // new operations.
+    if (hooks_present_.load(std::memory_order_acquire)) {
+        did_work = run_hooks() || did_work;
+    }
     progress_busy_.store(false, std::memory_order_release);
+    return did_work;
+}
+
+std::uint64_t Worker::add_progress_hook(std::function<bool()> fn) {
+    const std::lock_guard<std::mutex> lock(hooks_mutex_);
+    const std::uint64_t token = next_hook_token_++;
+    hooks_.emplace_back(
+        token, std::make_shared<std::function<bool()>>(std::move(fn)));
+    hooks_present_.store(true, std::memory_order_release);
+    return token;
+}
+
+void Worker::remove_progress_hook(std::uint64_t token) {
+    const std::lock_guard<std::mutex> lock(hooks_mutex_);
+    for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+        if (it->first == token) {
+            hooks_.erase(it);
+            break;
+        }
+    }
+    hooks_present_.store(!hooks_.empty(), std::memory_order_release);
+}
+
+bool Worker::run_hooks() {
+    // Snapshot under the leaf lock, run without it: a hook may add or
+    // remove hooks (including itself) while the snapshot is iterated.
+    std::vector<std::shared_ptr<std::function<bool()>>> snapshot;
+    {
+        const std::lock_guard<std::mutex> lock(hooks_mutex_);
+        snapshot.reserve(hooks_.size());
+        for (const auto& [token, fn] : hooks_) snapshot.push_back(fn);
+    }
+    bool did_work = false;
+    for (const auto& fn : snapshot) {
+        if ((*fn)()) did_work = true;
+    }
     return did_work;
 }
 

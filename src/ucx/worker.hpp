@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -136,6 +137,22 @@ public:
     [[nodiscard]] bool progress_active() const noexcept {
         return progress_busy_.load(std::memory_order_acquire);
     }
+
+    // Progress hooks: state machines (e.g. nonblocking collectives, see
+    // src/p2p/coll/) that must advance whenever this endpoint is driven.
+    // Hooks run at the tail of every progress() pass, after the packet
+    // drain and timer pump, while the busy flag is still held — so a hook
+    // observes a quiesced protocol state and is never run concurrently
+    // with itself on this worker. A hook returns true when it made
+    // progress (folded into progress()'s return value). Hooks must not
+    // call progress() on THIS worker (the busy flag makes such a call a
+    // harmless no-op) and must not assume any worker lock is held: the
+    // protocol mutex is released before hooks run, so hooks may freely
+    // post sends/recvs and poll completions. Returns a token for
+    // remove_progress_hook(); removal is safe from any thread, including
+    // from inside the hook itself.
+    std::uint64_t add_progress_hook(std::function<bool()> fn);
+    void remove_progress_hook(std::uint64_t token);
 
     // Earliest pending virtual-time timer (retransmit deadline or
     // receiver-side operation watchdog); +infinity when none. Used by
@@ -293,6 +310,19 @@ private:
 
     // progress() serialization (see above).
     std::atomic<bool> progress_busy_{false};
+
+    // Progress hooks (see add_progress_hook). The runner iterates a
+    // snapshot of shared_ptrs taken under hooks_mutex_, so a hook being
+    // removed concurrently still finishes its in-flight invocation and a
+    // hook may remove itself. hooks_present_ keeps the common no-hooks
+    // path to a single relaxed load. Leaf state: hooks_mutex_ is never
+    // held while running a hook or taking any other worker lock.
+    bool run_hooks();
+    std::mutex hooks_mutex_;
+    std::vector<std::pair<std::uint64_t, std::shared_ptr<std::function<bool()>>>>
+        hooks_;
+    std::uint64_t next_hook_token_ = 1;
+    std::atomic<bool> hooks_present_{false};
 
     WorkerStats stats_;
     std::uint64_t flight_token_ = 0; // flight-recorder source registration

@@ -1,0 +1,246 @@
+// Collective fault tolerance: every collective over a lossy fabric.
+//
+// With random faults armed the reliable-delivery protocol (CRC + ack +
+// retransmit; docs/FAULTS.md) is active underneath every collective
+// round. The contract asserted here is delivery-or-timeout: each rank's
+// collective either completes with the correct result or fails with
+// Status::timeout — never a hang (the test completing IS the no-hang
+// assertion; request waits would abort the process otherwise) and never
+// silent corruption. tools/run_faults_matrix.sh replays this file in its
+// lossy and sanitizer legs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/builtin_serialize.hpp"
+#include "netsim/fault.hpp"
+#include "p2p/coll/vcoll.hpp"
+#include "p2p/collectives.hpp"
+#include "p2p/universe.hpp"
+#include "test_util.hpp"
+
+namespace mpicd::p2p {
+namespace {
+
+// Like run_world, but with an explicit fault configuration (run_world
+// takes faults from the environment only).
+void run_world_faults(int nranks, const netsim::WireParams& params,
+                      const netsim::FaultConfig& faults,
+                      const std::function<void(Communicator&)>& fn) {
+    Universe uni(nranks, params, faults);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+        threads.emplace_back([&uni, &fn, r] { fn(uni.comm(r)); });
+    for (auto& t : threads) t.join();
+}
+
+// Small retransmit budget so injected losses resolve (either way) in a
+// handful of virtual milliseconds.
+netsim::WireParams lossy_params() {
+    netsim::WireParams p = mpicd::test::test_params();
+    p.rto_us = 20.0;
+    p.max_retries = 6;
+    return p;
+}
+
+netsim::FaultConfig lossy_faults(std::uint64_t seed) {
+    netsim::FaultConfig f;
+    f.seed = seed;
+    f.drop = 0.01;
+    f.dup = 0.01;
+    f.reorder = 0.01;
+    f.corrupt = 0.01;
+    f.delay = 0.05;
+    f.delay_max_us = 10.0;
+    return f;
+}
+
+void expect_delivered_or_timeout(Status st, const char* what) {
+    EXPECT_TRUE(st == Status::success || st == Status::timeout)
+        << what << ": " << to_cstring(st);
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 999983};
+
+TEST(CollFaults, BarrierUnderLoss) {
+    for (const auto seed : kSeeds) {
+        run_world_faults(4, lossy_params(), lossy_faults(seed),
+                         [&](Communicator& comm) {
+            for (int i = 0; i < 5; ++i)
+                expect_delivered_or_timeout(barrier(comm), "barrier");
+        });
+    }
+}
+
+TEST(CollFaults, BcastEagerAndRendezvousUnderLoss) {
+    for (const auto seed : kSeeds) {
+        run_world_faults(4, lossy_params(), lossy_faults(seed),
+                         [&](Communicator& comm) {
+            // Eager-sized payload.
+            ByteVec small(1024);
+            if (comm.rank() == 0) small = mpicd::test::pattern_bytes(1024, 3);
+            const Status s1 = bcast_bytes(comm, small.data(), 1024, 0);
+            expect_delivered_or_timeout(s1, "bcast eager");
+            if (ok(s1)) EXPECT_EQ(small, mpicd::test::pattern_bytes(1024, 3));
+            // Rendezvous-sized payload.
+            const std::size_t big = 128 * 1024;
+            ByteVec large(big);
+            if (comm.rank() == 1) large = mpicd::test::pattern_bytes(big, 5);
+            const Status s2 = bcast_bytes(comm, large.data(), Count(big), 1);
+            expect_delivered_or_timeout(s2, "bcast rndv");
+            if (ok(s2)) EXPECT_EQ(large, mpicd::test::pattern_bytes(big, 5));
+        });
+    }
+}
+
+TEST(CollFaults, GatherUnderLoss) {
+    for (const auto seed : kSeeds) {
+        run_world_faults(4, lossy_params(), lossy_faults(seed),
+                         [&](Communicator& comm) {
+            std::int64_t mine = 1000 + comm.rank();
+            std::vector<std::int64_t> all(4, -1);
+            const Status st = gather_bytes(
+                comm, &mine, 8, comm.rank() == 0 ? all.data() : nullptr, 0);
+            expect_delivered_or_timeout(st, "gather");
+            if (ok(st) && comm.rank() == 0)
+                for (int i = 0; i < 4; ++i)
+                    EXPECT_EQ(all[static_cast<std::size_t>(i)], 1000 + i);
+        });
+    }
+}
+
+TEST(CollFaults, AllreduceBothTypesUnderLoss) {
+    for (const auto seed : kSeeds) {
+        run_world_faults(4, lossy_params(), lossy_faults(seed),
+                         [&](Communicator& comm) {
+            double d = comm.rank() + 1.0;
+            const Status s1 = allreduce(comm, &d, 1, ReduceOp::sum);
+            expect_delivered_or_timeout(s1, "allreduce double");
+            if (ok(s1)) EXPECT_DOUBLE_EQ(d, 10.0);
+            std::int64_t q = 7 * (comm.rank() + 1);
+            const Status s2 = allreduce(comm, &q, 1, ReduceOp::max);
+            expect_delivered_or_timeout(s2, "allreduce int64");
+            if (ok(s2)) EXPECT_EQ(q, 28);
+        });
+    }
+}
+
+TEST(CollFaults, VVariantsUnderLoss) {
+    for (const auto seed : kSeeds) {
+        run_world_faults(4, lossy_params(), lossy_faults(seed),
+                         [&](Communicator& comm) {
+            const int n = 4, r = comm.rank();
+            const Count mine = 8 * (r + 1);
+            const ByteVec send = mpicd::test::pattern_bytes(
+                static_cast<std::size_t>(mine),
+                static_cast<std::uint32_t>(r + 30));
+            std::vector<Count> counts(4), displs(4);
+            Count off = 0;
+            for (int i = 0; i < n; ++i) {
+                counts[static_cast<std::size_t>(i)] = 8 * (i + 1);
+                displs[static_cast<std::size_t>(i)] = off;
+                off += 8 * (i + 1);
+            }
+            ByteVec recv(static_cast<std::size_t>(off));
+            const Status s1 = coll::allgatherv_bytes(comm, send.data(), mine,
+                                                     recv.data(), counts, displs);
+            expect_delivered_or_timeout(s1, "allgatherv");
+            if (ok(s1)) {
+                for (int i = 0; i < n; ++i) {
+                    const ByteVec expect = mpicd::test::pattern_bytes(
+                        static_cast<std::size_t>(8 * (i + 1)),
+                        static_cast<std::uint32_t>(i + 30));
+                    EXPECT_TRUE(std::equal(
+                        expect.begin(), expect.end(),
+                        recv.begin() + displs[static_cast<std::size_t>(i)]));
+                }
+            }
+            // alltoallv: one 16-byte block to every peer.
+            std::vector<Count> ones(4, 16), adispls = {0, 16, 32, 48};
+            ByteVec a2asend(64), a2arecv(64);
+            for (int p = 0; p < n; ++p) {
+                const ByteVec blk = mpicd::test::pattern_bytes(
+                    16, static_cast<std::uint32_t>(r * 10 + p));
+                std::copy(blk.begin(), blk.end(),
+                          a2asend.begin() +
+                              adispls[static_cast<std::size_t>(p)]);
+            }
+            const Status s2 = coll::alltoallv_bytes(comm, a2asend.data(), ones,
+                                                    adispls, a2arecv.data(),
+                                                    ones, adispls);
+            expect_delivered_or_timeout(s2, "alltoallv");
+            if (ok(s2)) {
+                for (int p = 0; p < n; ++p) {
+                    const ByteVec expect = mpicd::test::pattern_bytes(
+                        16, static_cast<std::uint32_t>(p * 10 + r));
+                    EXPECT_TRUE(std::equal(
+                        expect.begin(), expect.end(),
+                        a2arecv.begin() +
+                            adispls[static_cast<std::size_t>(p)]));
+                }
+            }
+        });
+    }
+}
+
+TEST(CollFaults, CustomBcastUnderLoss) {
+    using Sub = std::vector<std::int32_t>;
+    for (const auto seed : kSeeds) {
+        run_world_faults(3, lossy_params(), lossy_faults(seed),
+                         [&](Communicator& comm) {
+            std::vector<Sub> obj(2);
+            obj[0].resize(300);
+            obj[1].resize(500);
+            if (comm.rank() == 0) {
+                std::iota(obj[0].begin(), obj[0].end(), 10);
+                std::iota(obj[1].begin(), obj[1].end(), 9000);
+            }
+            const Status st = bcast_custom(comm, obj.data(), 2,
+                                           core::custom_datatype_of<Sub>(), 0);
+            expect_delivered_or_timeout(st, "bcast_custom");
+            if (ok(st)) {
+                EXPECT_EQ(obj[0].front(), 10);
+                EXPECT_EQ(obj[0].back(), 10 + 299);
+                EXPECT_EQ(obj[1].front(), 9000);
+                EXPECT_EQ(obj[1].back(), 9000 + 499);
+            }
+        });
+    }
+}
+
+// Heavy loss with a tiny retry budget: ranks are EXPECTED to time out;
+// the assertion is that every rank returns (delivery-or-timeout, never a
+// hang) and that the fault injector actually fired.
+TEST(CollFaults, HeavyLossTimesOutCleanly) {
+    netsim::WireParams p = lossy_params();
+    p.rto_us = 10.0;
+    p.max_retries = 3;
+    netsim::FaultConfig f;
+    f.seed = 7;
+    f.drop = 0.30;
+    std::atomic<int> returned{0};
+    Universe uni(3, p, f);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < 3; ++r) {
+        threads.emplace_back([&uni, &returned, r] {
+            auto& comm = uni.comm(r);
+            double d = r;
+            expect_delivered_or_timeout(allreduce(comm, &d, 1, ReduceOp::sum),
+                                        "heavy-loss allreduce");
+            expect_delivered_or_timeout(barrier(comm), "heavy-loss barrier");
+            ++returned;
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(returned.load(), 3);
+    EXPECT_GT(uni.fabric().faults().counters().dropped, 0u);
+}
+
+} // namespace
+} // namespace mpicd::p2p

@@ -68,7 +68,8 @@ TEST(WireModel, PrintedDefaultsRoundTripBitIdentically) {
         "MPICD_RNDV_FRAG_SIZE", "MPICD_RNDV_CTRL_US",
         "MPICD_FRAG_OVERHEAD_US", "MPICD_RAILS",
         "MPICD_RTO_US",         "MPICD_MAX_RETRIES",
-        "MPICD_OP_TIMEOUT_US",
+        "MPICD_OP_TIMEOUT_US",  "MPICD_RANKS_PER_NODE",
+        "MPICD_INTER_LATENCY_US", "MPICD_INTER_BANDWIDTH_GBPS",
     };
     for (const char* n : names) unsetenv(n);
     const WireParams base = WireParams::from_env();
@@ -111,6 +112,9 @@ TEST(WireModel, PrintedDefaultsRoundTripBitIdentically) {
     EXPECT_EQ(rt.rto_us, base.rto_us);
     EXPECT_EQ(rt.max_retries, base.max_retries);
     EXPECT_EQ(rt.op_timeout_us, base.op_timeout_us);
+    EXPECT_EQ(rt.ranks_per_node, base.ranks_per_node);
+    EXPECT_EQ(rt.inter_latency_us, base.inter_latency_us);
+    EXPECT_EQ(rt.inter_bandwidth_Bpus, base.inter_bandwidth_Bpus);
 
     // Modeled transfer times derived from the round-tripped params are
     // bit-identical too — the property the wire model actually promises.
@@ -154,6 +158,54 @@ TEST(Fabric, DeliversPacketWithPayload) {
                           expected.size()), 0);
     EXPECT_DOUBLE_EQ(got->arrival, arrival);
     EXPECT_FALSE(f.poll(1).has_value());
+}
+
+TEST(WireModel, TwoPlaneTopologyAssignsNodesAndPlanes) {
+    WireParams p = simple_params();
+    // Flat default: everything is one node, inter knobs inert.
+    EXPECT_EQ(p.node_of(0), 0);
+    EXPECT_EQ(p.node_of(7), 0);
+    EXPECT_FALSE(p.cross_node(0, 7));
+    EXPECT_DOUBLE_EQ(p.link_latency(0, 7), p.latency_us);
+    // 2 ranks per node: endpoints 0,1 on node 0; 2,3 on node 1.
+    p.ranks_per_node = 2;
+    p.inter_latency_us = 10.0;
+    p.inter_bandwidth_Bpus = 100.0;
+    EXPECT_EQ(p.node_of(1), 0);
+    EXPECT_EQ(p.node_of(2), 1);
+    EXPECT_FALSE(p.cross_node(0, 1));
+    EXPECT_TRUE(p.cross_node(1, 2));
+    EXPECT_DOUBLE_EQ(p.link_latency(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(p.link_latency(0, 2), 10.0);
+    EXPECT_DOUBLE_EQ(p.serialize_time_on(1000, 0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(p.serialize_time_on(1000, 0, 2), 10.0);
+    // Negative inter knobs fall back to the intra plane.
+    p.inter_latency_us = -1.0;
+    p.inter_bandwidth_Bpus = -1.0;
+    EXPECT_DOUBLE_EQ(p.link_latency(0, 2), p.latency_us);
+    EXPECT_DOUBLE_EQ(p.serialize_time_on(1000, 0, 2), 1.0);
+}
+
+TEST(Fabric, InterNodeLinksPayInterPlaneCosts) {
+    WireParams p = simple_params();
+    p.ranks_per_node = 2;
+    p.inter_latency_us = 5.0;
+    p.inter_bandwidth_Bpus = 100.0; // 10x slower than intra
+    Fabric f(4, p);
+    Packet intra;
+    intra.src = 0;
+    intra.dst = 1;
+    const SimTime a_intra = f.transmit(std::move(intra), 0.0, 1000);
+    // 1000 B at 1000 B/us + 1 us intra latency.
+    EXPECT_DOUBLE_EQ(a_intra, 1.0 + 1.0);
+    Packet inter;
+    inter.src = 0;
+    inter.dst = 2;
+    const SimTime a_inter = f.transmit(std::move(inter), 0.0, 1000);
+    // 1000 B at 100 B/us + 5 us inter latency.
+    EXPECT_DOUBLE_EQ(a_inter, 10.0 + 5.0);
+    (void)f.poll(1);
+    (void)f.poll(2);
 }
 
 TEST(Fabric, LinkSerializationQueuesBackToBack) {

@@ -24,10 +24,13 @@
 #
 # A ThreadSanitizer leg (-DMPICD_SANITIZE=thread) then replays the
 # matcher-heavy tests — test_matcher's randomized differential sweeps, the
-# test_ucx conformance set and the multi-threaded many-rank soak — so the
-# finely-locked progress path (busy-flag serialization, sharded admission,
-# completion registry) is checked for data races, not just correctness.
-# MPICD_SKIP_TSAN=1 skips it.
+# test_ucx conformance set, the multi-threaded many-rank soak, and the
+# collectives (whose dissemination-barrier rounds historically aliased one
+# token byte between concurrent send and recv — the TSan regression for
+# that bug lives in test_collectives) — so the finely-locked progress path
+# (busy-flag serialization, sharded admission, completion registry,
+# collective progress hooks) is checked for data races, not just
+# correctness. MPICD_SKIP_TSAN=1 skips it.
 #
 # Usage: tools/run_faults_matrix.sh [build-dir] (default: build)
 set -euo pipefail
@@ -88,14 +91,15 @@ fi
 
 if [[ "${MPICD_SKIP_TSAN:-0}" != "1" ]]; then
     TSAN_DIR=${BUILD_DIR}-tsan
-    TSAN_TESTS='test_ucx|test_matcher|test_reliability_soak'
+    TSAN_TESTS='test_ucx|test_matcher|test_reliability_soak|test_collectives|test_coll_faults'
     echo "=== tsan leg: configuring $TSAN_DIR ==="
     cmake -B "$TSAN_DIR" -S . \
           -DMPICD_SANITIZE=thread \
           -DMPICD_BUILD_BENCH=OFF \
           -DMPICD_BUILD_EXAMPLES=OFF >/dev/null
     cmake --build "$TSAN_DIR" -j "$JOBS" --target \
-          test_ucx test_matcher test_reliability_soak
+          test_ucx test_matcher test_reliability_soak \
+          test_collectives test_coll_faults
     echo "=== tsan leg: matcher + threaded soak under ThreadSanitizer ==="
     MPICD_FAULT_SEED=42 \
     MPICD_FAULT_DROP=0.01 \
