@@ -233,7 +233,8 @@ void set_buffer_capacity(std::size_t events) {
 
 void instant(const char* cat, const char* name, double vtime_us,
              const char* k0, std::uint64_t a0, const char* k1,
-             std::uint64_t a1) {
+             std::uint64_t a1, const char* k2, std::uint64_t a2,
+             const char* k3, std::uint64_t a3) {
     if (!enabled()) return;
     Event ev;
     ev.cat = cat;
@@ -242,6 +243,10 @@ void instant(const char* cat, const char* name, double vtime_us,
     ev.a0 = a0;
     ev.k1 = k1;
     ev.a1 = a1;
+    ev.k2 = k2;
+    ev.a2 = a2;
+    ev.k3 = k3;
+    ev.a3 = a3;
     ev.ts_us = detail::wall_now_us();
     ev.vtime_us = vtime_us;
     detail::record(static_cast<Event&&>(ev));
@@ -329,6 +334,16 @@ void write_event_json(std::FILE* out, const Event& ev, bool first) {
     if (ev.k1 != nullptr) {
         std::fprintf(out, "%s\"%s\": %llu", first_arg ? "" : ", ", ev.k1,
                      static_cast<unsigned long long>(ev.a1));
+        first_arg = false;
+    }
+    if (ev.k2 != nullptr) {
+        std::fprintf(out, "%s\"%s\": %llu", first_arg ? "" : ", ", ev.k2,
+                     static_cast<unsigned long long>(ev.a2));
+        first_arg = false;
+    }
+    if (ev.k3 != nullptr) {
+        std::fprintf(out, "%s\"%s\": %llu", first_arg ? "" : ", ", ev.k3,
+                     static_cast<unsigned long long>(ev.a3));
     }
     std::fprintf(out, "}}");
 }
@@ -392,6 +407,14 @@ void write_text(std::FILE* out, std::size_t max_events) {
         if (ev.k1 != nullptr) {
             std::fprintf(out, " %s=%llu", ev.k1,
                          static_cast<unsigned long long>(ev.a1));
+        }
+        if (ev.k2 != nullptr) {
+            std::fprintf(out, " %s=%llu", ev.k2,
+                         static_cast<unsigned long long>(ev.a2));
+        }
+        if (ev.k3 != nullptr) {
+            std::fprintf(out, " %s=%llu", ev.k3,
+                         static_cast<unsigned long long>(ev.a3));
         }
         std::fprintf(out, "\n");
     }

@@ -52,6 +52,13 @@ struct Event {
     std::uint64_t a0 = 0;
     const char* k1 = nullptr;
     std::uint64_t a1 = 0;
+    // Third/fourth arg pair: collective-op events need (op, rank, peer,
+    // round) side by side; packing them into two values would make every
+    // consumer decode bitfields. nullptr keys cost nothing at export.
+    const char* k2 = nullptr;
+    std::uint64_t a2 = 0;
+    const char* k3 = nullptr;
+    std::uint64_t a3 = 0;
     std::uint64_t msg = 0;   // message id (0 = not message-scoped)
     double ts_us = 0.0;      // wall time since trace epoch
     double dur_us = -1.0;    // >= 0: span ("X" phase); < 0: instant ("i")
@@ -116,7 +123,9 @@ private:
 // compute args should still check enabled() first to skip that work).
 void instant(const char* cat, const char* name, double vtime_us = -1.0,
              const char* k0 = nullptr, std::uint64_t a0 = 0,
-             const char* k1 = nullptr, std::uint64_t a1 = 0);
+             const char* k1 = nullptr, std::uint64_t a1 = 0,
+             const char* k2 = nullptr, std::uint64_t a2 = 0,
+             const char* k3 = nullptr, std::uint64_t a3 = 0);
 
 // RAII span: captures the wall clock at construction when tracing is on,
 // records a complete ("X") event at destruction. Args and the virtual

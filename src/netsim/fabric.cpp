@@ -9,6 +9,30 @@
 
 namespace mpicd::netsim {
 
+namespace {
+
+// All cross-node traffic between a node pair shares one uplink serializer
+// per rail (link_free_slot), so a transfer can queue behind unrelated
+// traffic. wire/uplink_wait_ns records that queuing delay for EVERY
+// cross-node transfer (zeros included — the count is the transfer count,
+// the sum the contention); a fabric.uplink_wait trace instant fires only
+// when the wait is non-zero. This is what decomposes a hier-vs-flat
+// collective win into "fewer uplink messages" vs "less queuing".
+void record_uplink_wait(SimTime wait_us, SimTime start, Count wire_bytes) {
+    static Histogram& h = metrics().histogram("wire", "uplink_wait_ns");
+    const double wait_ns = wait_us * 1000.0;
+    h.record(wait_ns > 0.0 ? static_cast<std::uint64_t>(wait_ns) : 0);
+    if (wait_us > 0.0 && trace::enabled()) {
+        // vt = serialization start; callers emit under the owning message's
+        // MsgScope so the wait lands inside that message's span tree.
+        trace::instant("fabric", "uplink_wait", start, "wait_ns",
+                       static_cast<std::uint64_t>(wait_ns), "bytes",
+                       static_cast<std::uint64_t>(wire_bytes));
+    }
+}
+
+} // namespace
+
 Fabric::Fabric(int num_endpoints, WireParams params, FaultConfig faults)
     : params_(params),
       inboxes_(static_cast<std::size_t>(num_endpoints)),
@@ -137,7 +161,8 @@ SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
                          Count sg_entries, int rail) {
     std::unique_lock<std::mutex> lock(mutex_);
     auto& free_at = link_free_slot(pkt.src, pkt.dst, rail);
-    const SimTime start = std::max(ready + params_.sg_overhead(sg_entries), free_at);
+    const SimTime avail = ready + params_.sg_overhead(sg_entries);
+    const SimTime start = std::max(avail, free_at);
     const SimTime end = start + params_.serialize_time_on(wire_bytes, pkt.src, pkt.dst);
     free_at = end;
     pkt.arrival = end + params_.link_latency(pkt.src, pkt.dst);
@@ -149,6 +174,8 @@ SimTime Fabric::transmit(Packet&& pkt, SimTime ready, Count wire_bytes,
     // packets keep whatever scope the caller holds.
     const trace::MsgScope msg_scope(
         pkt.msg_id != 0 ? pkt.msg_id : trace::current_msg());
+    if (params_.cross_node(pkt.src, pkt.dst))
+        record_uplink_wait(start - avail, start, wire_bytes);
     trace::instant("net", "tx", arrival, "kind", pkt.kind, "bytes",
                    static_cast<std::uint64_t>(wire_bytes));
     deliver_locked(std::move(pkt));
@@ -214,9 +241,14 @@ SimTime Fabric::rdma_cost(int src_ep, int dst_ep, Count bytes, Count sg_entries,
                           SimTime ready, int rail) {
     const std::lock_guard<std::mutex> lock(mutex_);
     auto& free_at = link_free_slot(src_ep, dst_ep, rail);
-    const SimTime start = std::max(ready + params_.sg_overhead(sg_entries), free_at);
+    const SimTime avail = ready + params_.sg_overhead(sg_entries);
+    const SimTime start = std::max(avail, free_at);
     const SimTime end = start + params_.serialize_time_on(bytes, src_ep, dst_ep);
     free_at = end;
+    // rdma_cost runs synchronously under the caller's MsgScope, so the
+    // uplink-wait instant is attributed to the rendezvous message.
+    if (params_.cross_node(src_ep, dst_ep))
+        record_uplink_wait(start - avail, start, bytes);
     return end + params_.link_latency(src_ep, dst_ep);
 }
 

@@ -19,7 +19,7 @@ namespace {
 class BarrierOp final : public CollOp {
 public:
     explicit BarrierOp(Communicator& comm)
-        : CollOp(comm), rounds_(log2_rounds(topo_.size)) {}
+        : CollOp(comm, Fam::barrier), rounds_(log2_rounds(topo_.size)) {}
 
 private:
     void next_phase() override {
@@ -33,8 +33,12 @@ private:
         const int dst = (topo_.rank + dist) % n;
         const int src = (topo_.rank - dist % n + n) % n;
         const auto ctag = tag(static_cast<std::uint32_t>(k));
-        track(comm_.coll_irecv_bytes(&recv_token_, 1, src, ctag));
-        track(comm_.coll_isend_bytes(&send_token_, 1, dst, ctag));
+        step_recv(src, ctag, [&] {
+            return comm_.coll_irecv_bytes(&recv_token_, 1, src, ctag);
+        });
+        step_send(dst, ctag, [&] {
+            return comm_.coll_isend_bytes(&send_token_, 1, dst, ctag);
+        });
     }
 
     const int rounds_;
@@ -99,13 +103,15 @@ public:
 
     BcastOp(Communicator& comm, int root, Count bytes_hint, Poster post_send,
             Poster post_recv)
-        : CollOp(comm),
+        : CollOp(comm, Fam::bcast),
           bytes_hint_(bytes_hint),
           algo_(select_algo(topo_)),
           send_(std::move(post_send)),
           recv_(std::move(post_recv)),
           sched_(algo_ == Algo::hier ? hier_bcast_schedule(topo_, root)
-                                     : flat_bcast_schedule(topo_, root)) {}
+                                     : flat_bcast_schedule(topo_, root)) {
+        note_algo(algo_);
+    }
 
 private:
     void next_phase() override {
@@ -114,7 +120,8 @@ private:
         if (phase_ == 0) {
             phase_ = 1;
             if (sched_.recv_from >= 0) {
-                track(recv_(sched_.recv_from, tag(0)));
+                const int src = sched_.recv_from;
+                step_recv(src, tag(0), [&] { return recv_(src, tag(0)); });
                 return;
             }
             // Fall through to the send phase without a round trip.
@@ -126,7 +133,7 @@ private:
                     coll_counters().leader_bytes.fetch_add(
                         static_cast<std::uint64_t>(bytes_hint_),
                         std::memory_order_relaxed);
-                track(send_(dst, tag(0)));
+                step_send(dst, tag(0), [&] { return send_(dst, tag(0)); });
             }
             if (!sched_.sends.empty()) return;
         }
@@ -151,12 +158,14 @@ class GatherBytesOp final : public CollOp {
 public:
     GatherBytesOp(Communicator& comm, const void* send, Count n, void* recv,
                   int root)
-        : CollOp(comm),
+        : CollOp(comm, Fam::gather),
           send_(send),
           recv_(recv),
           n_(n),
           root_(root),
-          algo_(select_algo(topo_)) {}
+          algo_(select_algo(topo_)) {
+        note_algo(algo_);
+    }
 
 private:
     [[nodiscard]] std::byte* recv_at(Count byte_off) const noexcept {
@@ -189,13 +198,17 @@ private:
                 if (r == root_) {
                     for (int src = 0; src < topo_.size; ++src) {
                         if (src == r) continue;
-                        track(comm_.coll_irecv_bytes(
-                            recv_at(static_cast<Count>(src) * n_), n_, src,
-                            tag(0)));
+                        step_recv(src, tag(0), [&] {
+                            return comm_.coll_irecv_bytes(
+                                recv_at(static_cast<Count>(src) * n_), n_, src,
+                                tag(0));
+                        });
                     }
                     copy_block(recv_at(static_cast<Count>(r) * n_), send_, n_);
                 } else {
-                    track(comm_.coll_isend_bytes(send_, n_, root_, tag(0)));
+                    step_send(root_, tag(0), [&] {
+                        return comm_.coll_isend_bytes(send_, n_, root_, tag(0));
+                    });
                 }
                 return;
             }
@@ -212,7 +225,10 @@ private:
                     coll_counters().leader_bytes.fetch_add(
                         static_cast<std::uint64_t>(block),
                         std::memory_order_relaxed);
-                track(comm_.coll_isend_bytes(stage_.data(), block, root_, tag(1)));
+                step_send(root_, tag(1), [&] {
+                    return comm_.coll_isend_bytes(stage_.data(), block, root_,
+                                                  tag(1));
+                });
                 return;
             }
         }
@@ -228,23 +244,33 @@ private:
                 const Count block = static_cast<Count>(topo_.node_size(b)) * n_;
                 if (b != topo_.node_of(r)) {
                     // One aggregated block per remote node, from its leader.
-                    track(comm_.coll_irecv_bytes(recv_at(base), block,
-                                                 topo_.node_begin(b), tag(1)));
+                    const int leader = topo_.node_begin(b);
+                    step_recv(leader, tag(1), [&] {
+                        return comm_.coll_irecv_bytes(recv_at(base), block,
+                                                      leader, tag(1));
+                    });
                 } else if (topo_.is_leader(r)) {
                     // Root doubles as its node's leader: members deliver
                     // straight into the final buffer.
                     for (int m = topo_.node_begin(b); m < topo_.node_end(b); ++m) {
                         if (m == r) continue;
-                        track(comm_.coll_irecv_bytes(
-                            recv_at(static_cast<Count>(m) * n_), n_, m, tag(0)));
+                        step_recv(m, tag(0), [&] {
+                            return comm_.coll_irecv_bytes(
+                                recv_at(static_cast<Count>(m) * n_), n_, m,
+                                tag(0));
+                        });
                     }
                     copy_block(recv_at(static_cast<Count>(r) * n_), send_, n_);
                 } else {
                     // Root is a plain member of its node: contribute through
                     // the leader and take the whole node block back from it.
-                    track(comm_.coll_isend_bytes(send_, n_, lead, tag(0)));
-                    track(comm_.coll_irecv_bytes(recv_at(base), block, lead,
-                                                 tag(1)));
+                    step_send(lead, tag(0), [&] {
+                        return comm_.coll_isend_bytes(send_, n_, lead, tag(0));
+                    });
+                    step_recv(lead, tag(1), [&] {
+                        return comm_.coll_irecv_bytes(recv_at(base), block,
+                                                      lead, tag(1));
+                    });
                 }
             }
             return;
@@ -260,13 +286,17 @@ private:
                 if (m == r) {
                     copy_block(stage_.data() + off, send_, n_);
                 } else {
-                    track(comm_.coll_irecv_bytes(stage_.data() + off, n_, m,
-                                                 tag(0)));
+                    step_recv(m, tag(0), [&] {
+                        return comm_.coll_irecv_bytes(stage_.data() + off, n_,
+                                                      m, tag(0));
+                    });
                 }
             }
             return;
         }
-        track(comm_.coll_isend_bytes(send_, n_, lead, tag(0)));
+        step_send(lead, tag(0), [&] {
+            return comm_.coll_isend_bytes(send_, n_, lead, tag(0));
+        });
     }
 
     const void* send_;
@@ -296,11 +326,12 @@ public:
     static constexpr std::uint32_t kNodeScatterTag = 49;
 
     AllreduceOp(Communicator& comm, T* data, Count count, ReduceOp op)
-        : CollOp(comm),
+        : CollOp(comm, Fam::allreduce),
           data_(data),
           count_(count),
           op_(op),
           algo_(select_algo(topo_)) {
+        note_algo(algo_);
         if (algo_ == Algo::hier) {
             mode_ = topo_.is_leader(topo_.rank) ? Mode::node_gather
                                                 : Mode::node_send;
@@ -356,7 +387,9 @@ private:
         if (algo_ == Algo::hier && topo_.cross_node(topo_.rank, peer))
             coll_counters().leader_bytes.fetch_add(
                 static_cast<std::uint64_t>(bytes()), std::memory_order_relaxed);
-        track(comm_.coll_isend_bytes(data_, bytes(), peer, ctag));
+        step_send(peer, ctag, [&] {
+            return comm_.coll_isend_bytes(data_, bytes(), peer, ctag);
+        });
     }
 
     void next_phase() override {
@@ -369,16 +402,20 @@ private:
         switch (mode_) {
             case Mode::node_send: {
                 // Member: contribute, then wait for the reduced result.
-                track(comm_.coll_isend_bytes(data_, bytes(),
-                                             topo_.leader_of(topo_.rank),
-                                             tag(kNodeGatherTag)));
+                const int lead = topo_.leader_of(topo_.rank);
+                step_send(lead, tag(kNodeGatherTag), [&] {
+                    return comm_.coll_isend_bytes(data_, bytes(), lead,
+                                                  tag(kNodeGatherTag));
+                });
                 mode_ = Mode::node_result;
                 return;
             }
             case Mode::node_result: {
-                track(comm_.coll_irecv_bytes(data_, bytes(),
-                                             topo_.leader_of(topo_.rank),
-                                             tag(kNodeScatterTag)));
+                const int lead = topo_.leader_of(topo_.rank);
+                step_recv(lead, tag(kNodeScatterTag), [&] {
+                    return comm_.coll_irecv_bytes(data_, bytes(), lead,
+                                                  tag(kNodeScatterTag));
+                });
                 mode_ = Mode::finished;
                 return;
             }
@@ -392,9 +429,11 @@ private:
                     for (int m = topo_.node_begin(b); m < topo_.node_end(b);
                          ++m) {
                         if (m == topo_.rank) continue;
-                        track(comm_.coll_irecv_bytes(node_tmp_.data() + off,
-                                                     bytes(), m,
-                                                     tag(kNodeGatherTag)));
+                        T* dst = node_tmp_.data() + off;
+                        step_recv(m, tag(kNodeGatherTag), [&] {
+                            return comm_.coll_irecv_bytes(
+                                dst, bytes(), m, tag(kNodeGatherTag));
+                        });
                         off += count_;
                     }
                 }
@@ -431,9 +470,11 @@ private:
                     }
                     if (tr + bit < tn) {
                         tmp_.resize(static_cast<std::size_t>(count_));
-                        track(comm_.coll_irecv_bytes(tmp_.data(), bytes(),
-                                                     tree_peer_rank(tr + bit),
-                                                     round_tag(k)));
+                        const int peer = tree_peer_rank(tr + bit);
+                        step_recv(peer, round_tag(k), [&] {
+                            return comm_.coll_irecv_bytes(tmp_.data(), bytes(),
+                                                          peer, round_tag(k));
+                        });
                         combine_pending_ = true;
                         return;
                     }
@@ -448,9 +489,11 @@ private:
                 const int tr = tree_rank();
                 if (mode_ == Mode::bcast_recv && !bcast_received_) {
                     bcast_received_ = true;
-                    track(comm_.coll_irecv_bytes(data_, bytes(),
-                                                 tree_peer_rank(bin_parent(tr)),
-                                                 tag(kBcastTag)));
+                    const int peer = tree_peer_rank(bin_parent(tr));
+                    step_recv(peer, tag(kBcastTag), [&] {
+                        return comm_.coll_irecv_bytes(data_, bytes(), peer,
+                                                      tag(kBcastTag));
+                    });
                     return;
                 }
                 for (const int kid : bin_children(tr, tree_size()))
@@ -466,8 +509,10 @@ private:
                     for (int m = topo_.node_begin(b); m < topo_.node_end(b);
                          ++m) {
                         if (m == topo_.rank) continue;
-                        track(comm_.coll_isend_bytes(data_, bytes(), m,
-                                                     tag(kNodeScatterTag)));
+                        step_send(m, tag(kNodeScatterTag), [&] {
+                            return comm_.coll_isend_bytes(
+                                data_, bytes(), m, tag(kNodeScatterTag));
+                        });
                     }
                     mode_ = Mode::finished;
                     if (topo_.node_size(b) > 1) return;

@@ -1,18 +1,65 @@
 #include "p2p/coll/request.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "base/flight_recorder.hpp"
 #include "base/log.hpp"
 #include "p2p/universe.hpp"
 
 namespace mpicd::p2p::coll {
 
-CollOp::CollOp(Communicator& comm)
+namespace {
+
+// Live-op registry backing the flight-recorder "coll.ops" source: when a
+// transport failure (or a collective watchdog) triggers a dump, the table
+// of in-flight collectives with per-peer progress is the context that
+// tells a stuck barrier round apart from a lost allreduce fragment.
+// Leaked, like the trace/metrics registries: ops may be dumped from
+// atexit/crash paths.
+struct OpRegistry {
+    std::mutex mu;
+    std::vector<CollOp*> ops;
+};
+
+OpRegistry& op_registry() {
+    static OpRegistry* reg = new OpRegistry();
+    return *reg;
+}
+
+// Token of the registered "coll.ops" source; passed as self_token when a
+// CollOp triggers a dump while holding its own mutex (the recorder then
+// runs the op-provided closure instead of the registered callback).
+std::atomic<std::uint64_t> g_coll_source_token{0};
+
+} // namespace
+
+CollOp::CollOp(Communicator& comm, Fam fam)
     : comm_(comm),
       topo_(TopologyMap::create(comm)),
-      base_tag_(comm.coll_reserve_tags(kCollTagStride)) {
+      fam_(fam),
+      base_tag_(comm.coll_reserve_tags(kCollTagStride)),
+      op_id_((static_cast<std::uint64_t>(comm.context()) << 32) | base_tag_),
+      begin_vtime_(comm.now()) {
     coll_counters().ops.fetch_add(1, std::memory_order_relaxed);
+    // Register the flight source once, OUTSIDE the registry mutex:
+    // flight::trigger holds the recorder's lock while invoking callbacks
+    // that take the registry mutex, so nesting them here in the opposite
+    // order would be a lock-order inversion.
+    static std::once_flag flight_once;
+    std::call_once(flight_once, [] {
+        g_coll_source_token.store(
+            flight::register_source("coll.ops",
+                                    [](std::FILE* f) { dump_all(f, nullptr); }),
+            std::memory_order_release);
+    });
+    {
+        OpRegistry& reg = op_registry();
+        const std::lock_guard<std::mutex> lock(reg.mu);
+        reg.ops.push_back(this);
+    }
     // Arm the loss watchdog only when the reliable-delivery protocol is on
     // (i.e. a fault injector is active): on a lossless fabric every posted
     // request completes, so no watchdog is needed — or wanted, since a
@@ -28,6 +75,54 @@ CollOp::CollOp(Communicator& comm)
     }
 }
 
+CollOp::~CollOp() {
+    OpRegistry& reg = op_registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    auto& ops = reg.ops;
+    ops.erase(std::remove(ops.begin(), ops.end(), this), ops.end());
+}
+
+void CollOp::track_step(Request rq, int peer, bool is_send) {
+    pending_.push_back(std::move(rq));
+    pending_peer_.push_back(peer);
+    if (peer < 0) return;
+    for (PeerProgress& p : peers_) {
+        if (p.peer == peer) {
+            (is_send ? p.sends : p.recvs) += 1;
+            return;
+        }
+    }
+    PeerProgress p;
+    p.peer = peer;
+    (is_send ? p.sends : p.recvs) = 1;
+    peers_.push_back(p);
+}
+
+void CollOp::enter_phase() {
+    if (trace::enabled()) {
+        trace::instant("coll", "round", comm_.now(), "op", op_id_, "rank",
+                       static_cast<std::uint64_t>(topo_.rank), "round",
+                       rounds_run_);
+    }
+    ++rounds_run_;
+    next_phase();
+}
+
+void CollOp::complete_locked() {
+    const SimTime now = comm_.now();
+    auto& h = op_hists(fam_, algo_);
+    const double lat_ns = (now - begin_vtime_) * 1000.0;
+    h.latency_ns.record(lat_ns > 0.0 ? static_cast<std::uint64_t>(lat_ns) : 0);
+    h.rounds.record(rounds_run_);
+    if (trace::enabled()) {
+        trace::instant(
+            "coll", "op_end", now, "op", op_id_, "rank",
+            static_cast<std::uint64_t>(topo_.rank), "status",
+            static_cast<std::uint64_t>(status_.load(std::memory_order_relaxed)),
+            "rounds", rounds_run_);
+    }
+}
+
 bool CollOp::advance() {
     const std::lock_guard<std::mutex> lock(mu_);
     if (done_.load(std::memory_order_relaxed)) return false;
@@ -35,15 +130,32 @@ bool CollOp::advance() {
     if (!started_) {
         started_ = true;
         moved = true;
-        next_phase();
+        if (trace::enabled()) {
+            trace::instant("coll", "op_begin", begin_vtime_, "op", op_id_,
+                           "rank", static_cast<std::uint64_t>(topo_.rank),
+                           "fam", static_cast<std::uint64_t>(fam_), "algo",
+                           algo_ == Algo::hier ? 1 : 0);
+        }
+        enter_phase();
     }
     for (std::size_t i = 0; i < pending_.size();) {
         MsgStatus st;
         if (pending_[i].poll(&st)) {
             if (!ok(st.status) && ok(status_.load(std::memory_order_relaxed)))
                 status_.store(st.status, std::memory_order_relaxed);
+            const int peer = pending_peer_[i];
+            if (peer >= 0) {
+                for (PeerProgress& p : peers_) {
+                    if (p.peer == peer) {
+                        ++p.completed;
+                        break;
+                    }
+                }
+            }
             pending_[i] = std::move(pending_.back());
             pending_.pop_back();
+            pending_peer_[i] = pending_peer_.back();
+            pending_peer_.pop_back();
             moved = true;
         } else {
             ++i;
@@ -56,7 +168,7 @@ bool CollOp::advance() {
     while (pending_.empty() && !finishing_ &&
            ok(status_.load(std::memory_order_relaxed))) {
         moved = true;
-        next_phase();
+        enter_phase();
     }
     if (watchdog_us_ > 0.0 && !pending_.empty()) {
         const SimTime now = comm_.now();
@@ -71,17 +183,61 @@ bool CollOp::advance() {
             // a later collective's traffic.
             if (ok(status_.load(std::memory_order_relaxed)))
                 status_.store(Status::timeout, std::memory_order_relaxed);
+            if (flight::enabled()) {
+                // Dump BEFORE abandoning so the stuck pending table is
+                // still visible. We hold mu_, so this op substitutes its
+                // own dump per the recorder's deadlock rule.
+                flight::trigger(
+                    "coll_watchdog_expired", 0, now,
+                    g_coll_source_token.load(std::memory_order_acquire),
+                    [this](std::FILE* f) { dump_all(f, this); });
+            }
             pending_.clear();
+            pending_peer_.clear();
             finishing_ = true;
             moved = true;
         }
     }
     if (pending_.empty() &&
         (finishing_ || !ok(status_.load(std::memory_order_relaxed)))) {
+        complete_locked();
         done_.store(true, std::memory_order_release);
         moved = true;
     }
     return moved;
+}
+
+void CollOp::dump_state(std::FILE* f) {
+    std::fprintf(
+        f,
+        "  op=%llx fam=%s algo=%s rank=%d rounds=%u pending=%zu status=%d "
+        "done=%d begin_vt=%.3f last_move_vt=%.3f\n",
+        static_cast<unsigned long long>(op_id_), fam_name(fam_),
+        algo_name(algo_), topo_.rank, rounds_run_, pending_.size(),
+        static_cast<int>(status_.load(std::memory_order_relaxed)),
+        done_.load(std::memory_order_relaxed) ? 1 : 0, begin_vtime_,
+        last_move_vtime_);
+    for (const PeerProgress& p : peers_) {
+        std::fprintf(f, "    peer=%d sends=%u recvs=%u completed=%u\n", p.peer,
+                     p.sends, p.recvs, p.completed);
+    }
+}
+
+void CollOp::dump_all(std::FILE* f, CollOp* self) {
+    OpRegistry& reg = op_registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    std::fprintf(f, "  live collective ops: %zu\n", reg.ops.size());
+    for (CollOp* op : reg.ops) {
+        if (op == self) {
+            op->dump_state(f); // the triggering thread already holds mu_
+        } else if (op->mu_.try_lock()) {
+            const std::lock_guard<std::mutex> oplock(op->mu_, std::adopt_lock);
+            op->dump_state(f);
+        } else {
+            std::fprintf(f, "  op=%llx <busy>\n",
+                         static_cast<unsigned long long>(op->op_id_));
+        }
+    }
 }
 
 void CollOp::on_stall() {
@@ -106,13 +262,26 @@ CollRequest launch(Communicator& comm, std::shared_ptr<CollOp> op) {
     (void)op->advance();
     if (!op->done()) {
         ucx::Worker* w = &comm.worker();
-        auto token = std::make_shared<std::uint64_t>(0);
-        *token = w->add_progress_hook([op, token, w]() {
+        // The hook can run on another rank's progress thread before this
+        // thread has stored the registration token, so the token slot is
+        // atomic. If the hook observes done() while the token is still 0
+        // it skips self-removal; the cleanup check below (and any later
+        // hook invocation) removes it instead. Tokens are unique and
+        // removal of an absent token is a no-op, so the possible double
+        // remove is harmless.
+        auto token = std::make_shared<std::atomic<std::uint64_t>>(0);
+        const std::uint64_t id = w->add_progress_hook([op, token, w]() {
             const bool moved = op->advance();
             // Self-removal is safe: the hook runner iterates a snapshot.
-            if (op->done()) w->remove_progress_hook(*token);
+            if (op->done()) {
+                const std::uint64_t t =
+                    token->load(std::memory_order_acquire);
+                if (t != 0) w->remove_progress_hook(t);
+            }
             return moved;
         });
+        token->store(id, std::memory_order_release);
+        if (op->done()) w->remove_progress_hook(id);
     }
     return rq;
 }

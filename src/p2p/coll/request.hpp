@@ -15,14 +15,30 @@
 // non-progressing completion polls (Request::poll) and new coll_* posts
 // happen, so it is safe in hook context (worker busy flag held, protocol
 // mutex released).
+//
+// Observability (docs/OBSERVABILITY.md §collectives): every op carries a
+// process-unique op id — (communicator context << 32) | reserved tag
+// block. Tag blocks come from the forward-only per-communicator epoch
+// counter, which every rank advances in lockstep, so the SAME id names
+// the same collective instance on every rank: one trace file groups all
+// ranks' events of one op. With tracing on, the op emits coll.op_begin /
+// coll.round / coll.step_send / coll.step_recv / coll.op_end instants,
+// and each point-to-point step opens a fresh trace MsgScope so the
+// message's whole packet/pack span tree hangs off the step. Always on
+// (tracing or not), completion records coll/op_latency_ns_* and
+// coll/op_rounds_* histograms, and live ops register with the flight
+// recorder so a collective timing out under fault injection dumps the op
+// state table with per-peer round progress.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "base/trace.hpp"
 #include "p2p/coll/topology.hpp"
 #include "p2p/communicator.hpp"
 
@@ -30,8 +46,8 @@ namespace mpicd::p2p::coll {
 
 class CollOp {
 public:
-    explicit CollOp(Communicator& comm);
-    virtual ~CollOp() = default;
+    CollOp(Communicator& comm, Fam fam);
+    virtual ~CollOp();
     CollOp(const CollOp&) = delete;
     CollOp& operator=(const CollOp&) = delete;
 
@@ -62,25 +78,94 @@ protected:
     // spare — the deepest schedule uses ~2*log2(kMaxWorldSize) rounds).
     static constexpr std::uint32_t kCollTagStride = 64;
 
-    // Post the operations of the next phase via track(), or call finish().
-    // Invoked under the op mutex whenever no tracked request remains; must
-    // do one or the other (posting nothing without finishing would spin).
-    // Not called again after finish() or after an error is recorded.
+    // Post the operations of the next phase via the step helpers, or call
+    // finish(). Invoked under the op mutex whenever no tracked request
+    // remains; must do one or the other (posting nothing without finishing
+    // would spin). Not called again after finish() or after an error is
+    // recorded.
     virtual void next_phase() = 0;
 
-    void track(Request rq) { pending_.push_back(std::move(rq)); }
+    // Post one point-to-point step of this op. `post` runs the actual
+    // comm_.coll_* call; `peer` / `ctag` name the step for tracing and
+    // the flight-recorder progress table. With tracing on the post runs
+    // inside a fresh MsgScope and a coll.step_send/step_recv instant
+    // records (op, rank, peer, sub) next to the new msg id — that instant
+    // is the join point attaching the message's span tree to this op's
+    // round. Msg ids are opaque to the transport (never touch CRC, timing
+    // or the fragment schedule), so tracing stays a pure observer.
+    template <typename PostFn>
+    void step_send(int peer, std::uint32_t ctag, PostFn&& post) {
+        post_step(true, peer, ctag, static_cast<PostFn&&>(post));
+    }
+    template <typename PostFn>
+    void step_recv(int peer, std::uint32_t ctag, PostFn&& post) {
+        post_step(false, peer, ctag, static_cast<PostFn&&>(post));
+    }
+
+    // Untraced tracking (no peer attribution); prefer the step helpers.
+    void track(Request rq) { track_step(std::move(rq), -1, false); }
+
+    // Record the algorithm the subclass selected (selection runs in
+    // subclass ctors, after this base is built). Defaults to flat.
+    void note_algo(Algo a) noexcept { algo_ = a; }
+
     void finish() noexcept { finishing_ = true; }
     [[nodiscard]] std::uint32_t tag(std::uint32_t subtag) const noexcept {
         return base_tag_ + subtag;
     }
+    [[nodiscard]] std::uint64_t op_id() const noexcept { return op_id_; }
 
     Communicator& comm_;
     const TopologyMap topo_;
 
 private:
+    template <typename PostFn>
+    void post_step(bool is_send, int peer, std::uint32_t ctag, PostFn&& post) {
+        if (trace::enabled()) {
+            const trace::MsgScope scope(trace::next_msg_id());
+            trace::instant("coll", is_send ? "step_send" : "step_recv",
+                           comm_.now(), "op", op_id_, "rank",
+                           static_cast<std::uint64_t>(topo_.rank), "peer",
+                           static_cast<std::uint64_t>(peer), "sub",
+                           ctag - base_tag_);
+            track_step(post(), peer, is_send);
+        } else {
+            track_step(post(), peer, is_send);
+        }
+    }
+
+    void track_step(Request rq, int peer, bool is_send);
+    // Emit the coll.round instant and run the subclass phase (under mu_).
+    void enter_phase();
+    // Metrics + coll.op_end at the done transition (under mu_).
+    void complete_locked();
+    // One line of op state + per-peer progress; mu_ must be held (or
+    // known-unlocked via try_lock by the flight dump path).
+    void dump_state(std::FILE* f);
+    // Flight-recorder dump of every live op; `self` is the op whose mutex
+    // the triggering thread already holds (dumped without locking), all
+    // others are try_lock'ed and print "<busy>" when contended.
+    static void dump_all(std::FILE* f, CollOp* self);
+
+    const Fam fam_;
+    Algo algo_ = Algo::flat;
     const std::uint32_t base_tag_;
+    const std::uint64_t op_id_;
+    const SimTime begin_vtime_;
     std::mutex mu_;
-    std::vector<Request> pending_; // posted, not yet completed
+    std::vector<Request> pending_;   // posted, not yet completed
+    std::vector<int> pending_peer_;  // peer of pending_[i] (-1 = unknown)
+    // Per-peer post/completion counts for the flight-recorder table: when
+    // a collective times out, "peer 7: 2 posted, 0 completed" is the
+    // straggler attribution a raw pending count cannot give.
+    struct PeerProgress {
+        int peer = -1;
+        std::uint32_t sends = 0;
+        std::uint32_t recvs = 0;
+        std::uint32_t completed = 0;
+    };
+    std::vector<PeerProgress> peers_;
+    std::uint32_t rounds_run_ = 0;
     bool started_ = false;
     bool finishing_ = false;
     std::atomic<Status> status_{Status::success};

@@ -1,5 +1,9 @@
 #include "p2p/coll/topology.hpp"
 
+#include <array>
+#include <mutex>
+#include <string>
+
 #include "base/config.hpp"
 #include "base/log.hpp"
 #include "base/metrics.hpp"
@@ -71,6 +75,49 @@ Algo select_algo(const TopologyMap& topo) {
     else
         c.flat_selected.fetch_add(1, std::memory_order_relaxed);
     return a;
+}
+
+const char* fam_name(Fam f) noexcept {
+    switch (f) {
+        case Fam::barrier: return "barrier";
+        case Fam::bcast: return "bcast";
+        case Fam::gather: return "gather";
+        case Fam::allreduce: return "allreduce";
+        case Fam::gatherv: return "gatherv";
+        case Fam::allgatherv: return "allgatherv";
+        case Fam::alltoallv: return "alltoallv";
+    }
+    return "unknown";
+}
+
+const char* algo_name(Algo a) noexcept {
+    return a == Algo::hier ? "hier" : "flat";
+}
+
+OpHists& op_hists(Fam f, Algo a) {
+    constexpr std::size_t kAlgos = 2;
+    constexpr std::size_t kSlots = 7 * kAlgos;
+    static std::mutex mu;
+    static std::array<std::atomic<OpHists*>, kSlots> slots{};
+    const std::size_t i = static_cast<std::size_t>(f) * kAlgos +
+                          (a == Algo::hier ? 1 : 0);
+    OpHists* p = slots[i].load(std::memory_order_acquire);
+    if (p == nullptr) {
+        const std::lock_guard<std::mutex> lock(mu);
+        p = slots[i].load(std::memory_order_relaxed);
+        if (p == nullptr) {
+            const std::string suffix =
+                std::string("_") + fam_name(f) + "_" + algo_name(a);
+            // Leaked: histogram references must stay valid from atexit
+            // dumps, matching the registry's own lifetime.
+            p = new OpHists{
+                metrics().histogram("coll", "op_latency_ns" + suffix),
+                metrics().histogram("coll", "op_rounds" + suffix),
+            };
+            slots[i].store(p, std::memory_order_release);
+        }
+    }
+    return *p;
 }
 
 CollCounters& coll_counters() noexcept {

@@ -16,6 +16,10 @@
 
 #include "base/bytes.hpp"
 
+namespace mpicd {
+class Histogram;
+}
+
 namespace mpicd::p2p {
 class Communicator;
 }
@@ -78,6 +82,34 @@ enum class Algo { flat, hier };
 
 // Force an algorithm (or std::nullopt to return to env/auto selection).
 void set_algo_override(std::optional<Algo> algo) noexcept;
+
+// Collective operation family — the coarse identity carried by coll.*
+// trace events and the per-family metrics histograms. Values are stable
+// (they appear numerically in trace args); append only.
+enum class Fam : std::uint8_t {
+    barrier = 0,
+    bcast = 1,
+    gather = 2,
+    allreduce = 3,
+    gatherv = 4,
+    allgatherv = 5,
+    alltoallv = 6,
+};
+
+[[nodiscard]] const char* fam_name(Fam f) noexcept;
+[[nodiscard]] const char* algo_name(Algo a) noexcept;
+
+// Per-(family, algorithm) op histograms in the "coll" metrics group:
+// coll/op_latency_ns_<fam>_<algo> (end-to-end virtual-time latency of one
+// rank's participation) and coll/op_rounds_<fam>_<algo> (state-machine
+// rounds run). Created lazily on first record so benches that never run a
+// family do not grow empty histogram entries in their JSON artifacts;
+// references are stable for the process lifetime.
+struct OpHists {
+    Histogram& latency_ns;
+    Histogram& rounds;
+};
+[[nodiscard]] OpHists& op_hists(Fam f, Algo a);
 
 // coll/* counters in the MetricsRegistry: collectives started, algorithm
 // selections, and payload bytes hierarchical algorithms pushed across the

@@ -4,6 +4,8 @@
 #include <initializer_list>
 #include <vector>
 
+#include "base/trace.hpp"
+
 namespace mpicd::p2p::coll {
 
 namespace {
@@ -34,6 +36,93 @@ void copy_block(void* dst, const void* src, Count n) noexcept {
 
 void note_op() { coll_counters().ops.fetch_add(1, std::memory_order_relaxed); }
 
+// The blocking v-collectives are not CollOps, but they speak the same
+// observability vocabulary (docs/OBSERVABILITY.md §collectives): the same
+// (context << 32 | tag block) op id, the same coll.op_begin / coll.round /
+// coll.step_send / coll.step_recv / coll.op_end instants, and the same
+// coll/op_latency_ns_* / op_rounds_* histograms. OpScope is the per-call
+// observer — destructor-based so an early error return still closes the
+// op (record the final status via done()). Pure observer: msg ids and
+// instants never touch the transport.
+class OpScope {
+public:
+    OpScope(Communicator& comm, Fam fam, Algo algo, std::uint32_t base)
+        : comm_(comm),
+          fam_(fam),
+          algo_(algo),
+          op_id_((static_cast<std::uint64_t>(comm.context()) << 32) | base),
+          begin_vtime_(comm.now()) {
+        if (trace::enabled()) {
+            trace::instant("coll", "op_begin", begin_vtime_, "op", op_id_,
+                           "rank", static_cast<std::uint64_t>(comm.rank()),
+                           "fam", static_cast<std::uint64_t>(fam_), "algo",
+                           algo_ == Algo::hier ? 1 : 0);
+        }
+    }
+    ~OpScope() {
+        const SimTime now = comm_.now();
+        auto& h = op_hists(fam_, algo_);
+        const double lat_ns = (now - begin_vtime_) * 1000.0;
+        h.latency_ns.record(lat_ns > 0.0 ? static_cast<std::uint64_t>(lat_ns)
+                                         : 0);
+        h.rounds.record(rounds_);
+        if (trace::enabled()) {
+            trace::instant("coll", "op_end", now, "op", op_id_, "rank",
+                           static_cast<std::uint64_t>(comm_.rank()), "status",
+                           static_cast<std::uint64_t>(status_), "rounds",
+                           rounds_);
+        }
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+    // Start of the next posting stage (one coll.round instant).
+    void round() {
+        if (trace::enabled()) {
+            trace::instant("coll", "round", comm_.now(), "op", op_id_, "rank",
+                           static_cast<std::uint64_t>(comm_.rank()), "round",
+                           rounds_);
+        }
+        ++rounds_;
+    }
+
+    template <typename PostFn>
+    Request send(int peer, std::uint32_t sub, PostFn&& post) {
+        return step(true, peer, sub, static_cast<PostFn&&>(post));
+    }
+    template <typename PostFn>
+    Request recv(int peer, std::uint32_t sub, PostFn&& post) {
+        return step(false, peer, sub, static_cast<PostFn&&>(post));
+    }
+
+    // Record the op's final status; returns it unchanged so call sites
+    // read `return tr.done(wait_all(...))`.
+    Status done(Status st) noexcept {
+        status_ = st;
+        return st;
+    }
+
+private:
+    template <typename PostFn>
+    Request step(bool is_send, int peer, std::uint32_t sub, PostFn&& post) {
+        if (!trace::enabled()) return post();
+        const trace::MsgScope scope(trace::next_msg_id());
+        trace::instant("coll", is_send ? "step_send" : "step_recv",
+                       comm_.now(), "op", op_id_, "rank",
+                       static_cast<std::uint64_t>(comm_.rank()), "peer",
+                       static_cast<std::uint64_t>(peer), "sub", sub);
+        return post();
+    }
+
+    Communicator& comm_;
+    const Fam fam_;
+    const Algo algo_;
+    const std::uint64_t op_id_;
+    const SimTime begin_vtime_;
+    std::uint32_t rounds_ = 0;
+    Status status_ = Status::success;
+};
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -58,6 +147,8 @@ Status gatherv_bytes(Communicator& comm, const void* send, Count sendn,
     }
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::gatherv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     if (r == root) {
         for (int src = 0; src < n; ++src) {
@@ -66,22 +157,29 @@ Status gatherv_bytes(Communicator& comm, const void* send, Count sendn,
             if (src == r) {
                 copy_block(at(recv, displs[static_cast<std::size_t>(src)]), send, c);
             } else {
-                reqs.push_back(comm.coll_irecv_bytes(
-                    at(recv, displs[static_cast<std::size_t>(src)]), c, src, base));
+                reqs.push_back(tr.recv(src, 0, [&] {
+                    return comm.coll_irecv_bytes(
+                        at(recv, displs[static_cast<std::size_t>(src)]), c, src,
+                        base);
+                }));
             }
         }
     } else if (sendn > 0) {
-        reqs.push_back(comm.coll_isend_bytes(send, sendn, root, base));
+        reqs.push_back(tr.send(root, 0, [&] {
+            return comm.coll_isend_bytes(send, sendn, root, base);
+        }));
     }
-    return wait_all(std::span<Request>(reqs));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 namespace {
 
 Status allgatherv_flat(Communicator& comm, const void* send, Count sendn,
                        void* recv, std::span<const Count> counts,
-                       std::span<const Count> displs, std::uint32_t base) {
+                       std::span<const Count> displs, std::uint32_t base,
+                       OpScope& tr) {
     const int n = comm.size(), r = comm.rank();
+    tr.round();
     std::vector<Request> reqs;
     for (int peer = 0; peer < n; ++peer) {
         const Count c = counts[static_cast<std::size_t>(peer)];
@@ -90,10 +188,15 @@ Status allgatherv_flat(Communicator& comm, const void* send, Count sendn,
             continue;
         }
         if (c > 0)
-            reqs.push_back(comm.coll_irecv_bytes(
-                at(recv, displs[static_cast<std::size_t>(peer)]), c, peer, base));
+            reqs.push_back(tr.recv(peer, 0, [&] {
+                return comm.coll_irecv_bytes(
+                    at(recv, displs[static_cast<std::size_t>(peer)]), c, peer,
+                    base);
+            }));
         if (sendn > 0)
-            reqs.push_back(comm.coll_isend_bytes(send, sendn, peer, base));
+            reqs.push_back(tr.send(peer, 0, [&] {
+                return comm.coll_isend_bytes(send, sendn, peer, base);
+            }));
     }
     return wait_all(std::span<Request>(reqs));
 }
@@ -106,7 +209,7 @@ Status allgatherv_flat(Communicator& comm, const void* send, Count sendn,
 Status allgatherv_hier(Communicator& comm, const void* send, Count sendn,
                        void* recv, std::span<const Count> counts,
                        std::span<const Count> displs, std::uint32_t base,
-                       const TopologyMap& topo) {
+                       const TopologyMap& topo, OpScope& tr) {
     const int n = comm.size(), r = comm.rank();
     // Packed offsets: rank i's block at packed[i]; node superblocks are
     // contiguous because nodes are contiguous rank ranges.
@@ -120,17 +223,23 @@ Status allgatherv_hier(Communicator& comm, const void* send, Count sendn,
     if (!topo.is_leader(r)) {
         // Member: contribute, then take the packed result and scatter it.
         {
+            tr.round();
             std::vector<Request> reqs;
             if (sendn > 0)
-                reqs.push_back(comm.coll_isend_bytes(send, sendn, lead, base));
+                reqs.push_back(tr.send(lead, 0, [&] {
+                    return comm.coll_isend_bytes(send, sendn, lead, base);
+                }));
             MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
         }
         std::vector<std::byte> all(static_cast<std::size_t>(total));
         {
+            tr.round();
             std::vector<Request> reqs;
             if (total > 0)
-                reqs.push_back(
-                    comm.coll_irecv_bytes(all.data(), total, lead, base + 2));
+                reqs.push_back(tr.recv(lead, 2, [&] {
+                    return comm.coll_irecv_bytes(all.data(), total, lead,
+                                                 base + 2);
+                }));
             MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
         }
         for (int i = 0; i < n; ++i)
@@ -144,20 +253,25 @@ Status allgatherv_hier(Communicator& comm, const void* send, Count sendn,
     const int b = topo.node_of(r);
     std::vector<std::byte> all(static_cast<std::size_t>(total));
     {
+        tr.round();
         std::vector<Request> reqs;
         for (int m = topo.node_begin(b); m < topo.node_end(b); ++m) {
             const Count c = counts[static_cast<std::size_t>(m)];
             if (m == r) {
                 copy_block(all.data() + packed[static_cast<std::size_t>(m)], send, c);
             } else if (c > 0) {
-                reqs.push_back(comm.coll_irecv_bytes(
-                    all.data() + packed[static_cast<std::size_t>(m)], c, m, base));
+                reqs.push_back(tr.recv(m, 0, [&] {
+                    return comm.coll_irecv_bytes(
+                        all.data() + packed[static_cast<std::size_t>(m)], c, m,
+                        base);
+                }));
             }
         }
         MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
     }
     {
         // Superblock exchange with every other leader (inter-node plane).
+        tr.round();
         const Count own_off = packed[static_cast<std::size_t>(topo.node_begin(b))];
         const Count own_len =
             packed[static_cast<std::size_t>(topo.node_end(b))] - own_off;
@@ -169,23 +283,30 @@ Status allgatherv_hier(Communicator& comm, const void* send, Count sendn,
             const Count len =
                 packed[static_cast<std::size_t>(topo.node_end(bb))] - off;
             if (len > 0)
-                reqs.push_back(
-                    comm.coll_irecv_bytes(all.data() + off, len, peer, base + 1));
+                reqs.push_back(tr.recv(peer, 1, [&] {
+                    return comm.coll_irecv_bytes(all.data() + off, len, peer,
+                                                 base + 1);
+                }));
             if (own_len > 0) {
                 coll_counters().leader_bytes.fetch_add(
                     static_cast<std::uint64_t>(own_len), std::memory_order_relaxed);
-                reqs.push_back(comm.coll_isend_bytes(all.data() + own_off, own_len,
-                                                     peer, base + 1));
+                reqs.push_back(tr.send(peer, 1, [&] {
+                    return comm.coll_isend_bytes(all.data() + own_off, own_len,
+                                                 peer, base + 1);
+                }));
             }
         }
         MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
     }
     {
         // Push the packed result to the node's members.
+        tr.round();
         std::vector<Request> reqs;
         for (int m = topo.node_begin(b); m < topo.node_end(b); ++m) {
             if (m == r || total == 0) continue;
-            reqs.push_back(comm.coll_isend_bytes(all.data(), total, m, base + 2));
+            reqs.push_back(tr.send(m, 2, [&] {
+                return comm.coll_isend_bytes(all.data(), total, m, base + 2);
+            }));
         }
         MPICD_RETURN_IF_ERROR(wait_all(std::span<Request>(reqs)));
     }
@@ -213,9 +334,13 @@ Status allgatherv_bytes(Communicator& comm, const void* send, Count sendn,
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
     const TopologyMap topo = TopologyMap::create(comm);
-    if (select_algo(topo) == Algo::hier)
-        return allgatherv_hier(comm, send, sendn, recv, counts, displs, base, topo);
-    return allgatherv_flat(comm, send, sendn, recv, counts, displs, base);
+    const Algo algo = select_algo(topo);
+    OpScope tr(comm, Fam::allgatherv, algo, base);
+    if (algo == Algo::hier)
+        return tr.done(allgatherv_hier(comm, send, sendn, recv, counts, displs,
+                                       base, topo, tr));
+    return tr.done(
+        allgatherv_flat(comm, send, sendn, recv, counts, displs, base, tr));
 }
 
 Status alltoallv_bytes(Communicator& comm, const void* send,
@@ -240,6 +365,8 @@ Status alltoallv_bytes(Communicator& comm, const void* send,
         return Status::err_arg;
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::alltoallv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     for (int peer = 0; peer < n; ++peer) {
         const Count sc = sendcounts[static_cast<std::size_t>(peer)];
@@ -250,13 +377,19 @@ Status alltoallv_bytes(Communicator& comm, const void* send,
             continue;
         }
         if (rc > 0)
-            reqs.push_back(comm.coll_irecv_bytes(
-                at(recv, rdispls[static_cast<std::size_t>(peer)]), rc, peer, base));
+            reqs.push_back(tr.recv(peer, 0, [&] {
+                return comm.coll_irecv_bytes(
+                    at(recv, rdispls[static_cast<std::size_t>(peer)]), rc, peer,
+                    base);
+            }));
         if (sc > 0)
-            reqs.push_back(comm.coll_isend_bytes(
-                at(send, sdispls[static_cast<std::size_t>(peer)]), sc, peer, base));
+            reqs.push_back(tr.send(peer, 0, [&] {
+                return comm.coll_isend_bytes(
+                    at(send, sdispls[static_cast<std::size_t>(peer)]), sc, peer,
+                    base);
+            }));
     }
-    return wait_all(std::span<Request>(reqs));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 // ---------------------------------------------------------------------------
@@ -282,6 +415,8 @@ Status gatherv(Communicator& comm, const void* send, Count sendcount,
     }
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::gatherv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     if (r == root) {
         for (int src = 0; src < n; ++src) {
@@ -291,14 +426,20 @@ Status gatherv(Communicator& comm, const void* send, Count sendcount,
                                      recvtype->extent());
             // Typed self-delivery goes through the loopback link so the
             // send/receive type pair is honored like any other rank's.
-            reqs.push_back(comm.coll_irecv(dst, c, recvtype, src, base));
+            reqs.push_back(tr.recv(src, 0, [&] {
+                return comm.coll_irecv(dst, c, recvtype, src, base);
+            }));
         }
         if (sendcount > 0)
-            reqs.push_back(comm.coll_isend(send, sendcount, sendtype, r, base));
+            reqs.push_back(tr.send(r, 0, [&] {
+                return comm.coll_isend(send, sendcount, sendtype, r, base);
+            }));
     } else if (sendcount > 0) {
-        reqs.push_back(comm.coll_isend(send, sendcount, sendtype, root, base));
+        reqs.push_back(tr.send(root, 0, [&] {
+            return comm.coll_isend(send, sendcount, sendtype, root, base);
+        }));
     }
-    return wait_all(std::span<Request>(reqs));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 Status allgatherv(Communicator& comm, const void* send, Count sendcount,
@@ -317,18 +458,24 @@ Status allgatherv(Communicator& comm, const void* send, Count sendcount,
         if (recvcounts[static_cast<std::size_t>(i)] < 0) return Status::err_arg;
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::allgatherv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     for (int peer = 0; peer < n; ++peer) {
         const Count c = recvcounts[static_cast<std::size_t>(peer)];
         if (c > 0) {
             void* dst = at(recv, displs[static_cast<std::size_t>(peer)] *
                                      recvtype->extent());
-            reqs.push_back(comm.coll_irecv(dst, c, recvtype, peer, base));
+            reqs.push_back(tr.recv(peer, 0, [&] {
+                return comm.coll_irecv(dst, c, recvtype, peer, base);
+            }));
         }
         if (sendcount > 0)
-            reqs.push_back(comm.coll_isend(send, sendcount, sendtype, peer, base));
+            reqs.push_back(tr.send(peer, 0, [&] {
+                return comm.coll_isend(send, sendcount, sendtype, peer, base);
+            }));
     }
-    return wait_all(std::span<Request>(reqs));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 Status alltoallv(Communicator& comm, const void* send,
@@ -350,6 +497,8 @@ Status alltoallv(Communicator& comm, const void* send,
             return Status::err_arg;
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::alltoallv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     for (int peer = 0; peer < n; ++peer) {
         const Count sc = sendcounts[static_cast<std::size_t>(peer)];
@@ -357,15 +506,19 @@ Status alltoallv(Communicator& comm, const void* send,
         if (rc > 0) {
             void* dst = at(recv, rdispls[static_cast<std::size_t>(peer)] *
                                      recvtype->extent());
-            reqs.push_back(comm.coll_irecv(dst, rc, recvtype, peer, base));
+            reqs.push_back(tr.recv(peer, 0, [&] {
+                return comm.coll_irecv(dst, rc, recvtype, peer, base);
+            }));
         }
         if (sc > 0) {
             const void* src = at(send, sdispls[static_cast<std::size_t>(peer)] *
                                            sendtype->extent());
-            reqs.push_back(comm.coll_isend(src, sc, sendtype, peer, base));
+            reqs.push_back(tr.send(peer, 0, [&] {
+                return comm.coll_isend(src, sc, sendtype, peer, base);
+            }));
         }
     }
-    return wait_all(std::span<Request>(reqs));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 // ---------------------------------------------------------------------------
@@ -385,17 +538,23 @@ Status gatherv_custom(Communicator& comm, const void* send,
     }
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::gatherv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     if (r == root) {
         for (int src = 0; src < n; ++src)
-            reqs.push_back(comm.coll_irecv_custom(
-                recv[static_cast<std::size_t>(src)], 1, type, src, base));
+            reqs.push_back(tr.recv(src, 0, [&] {
+                return comm.coll_irecv_custom(
+                    recv[static_cast<std::size_t>(src)], 1, type, src, base);
+            }));
     }
     // Every rank — including the root, via the loopback link, so the
     // pack/unpack callbacks run for its own object too — contributes one
     // object.
-    reqs.push_back(comm.coll_isend_custom(send, 1, type, root, base));
-    return wait_all(std::span<Request>(reqs));
+    reqs.push_back(tr.send(root, 0, [&] {
+        return comm.coll_isend_custom(send, 1, type, root, base);
+    }));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 Status allgatherv_custom(Communicator& comm, const void* send,
@@ -410,13 +569,19 @@ Status allgatherv_custom(Communicator& comm, const void* send,
             return Status::err_arg;
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::allgatherv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     for (int peer = 0; peer < n; ++peer) {
-        reqs.push_back(comm.coll_irecv_custom(recv[static_cast<std::size_t>(peer)],
-                                              1, type, peer, base));
-        reqs.push_back(comm.coll_isend_custom(send, 1, type, peer, base));
+        reqs.push_back(tr.recv(peer, 0, [&] {
+            return comm.coll_irecv_custom(recv[static_cast<std::size_t>(peer)],
+                                          1, type, peer, base);
+        }));
+        reqs.push_back(tr.send(peer, 0, [&] {
+            return comm.coll_isend_custom(send, 1, type, peer, base);
+        }));
     }
-    return wait_all(std::span<Request>(reqs));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 Status alltoallv_custom(Communicator& comm, std::span<const void* const> send,
@@ -433,14 +598,20 @@ Status alltoallv_custom(Communicator& comm, std::span<const void* const> send,
             return Status::err_arg;
     const auto base = comm.coll_reserve_tags(kStride);
     note_op();
+    OpScope tr(comm, Fam::alltoallv, Algo::flat, base);
+    tr.round();
     std::vector<Request> reqs;
     for (int peer = 0; peer < n; ++peer) {
-        reqs.push_back(comm.coll_irecv_custom(recv[static_cast<std::size_t>(peer)],
-                                              1, type, peer, base));
-        reqs.push_back(comm.coll_isend_custom(
-            send[static_cast<std::size_t>(peer)], 1, type, peer, base));
+        reqs.push_back(tr.recv(peer, 0, [&] {
+            return comm.coll_irecv_custom(recv[static_cast<std::size_t>(peer)],
+                                          1, type, peer, base);
+        }));
+        reqs.push_back(tr.send(peer, 0, [&] {
+            return comm.coll_isend_custom(
+                send[static_cast<std::size_t>(peer)], 1, type, peer, base);
+        }));
     }
-    return wait_all(std::span<Request>(reqs));
+    return tr.done(wait_all(std::span<Request>(reqs)));
 }
 
 } // namespace mpicd::p2p::coll

@@ -108,6 +108,10 @@ public:
     // Construction validity (MPI error-state analog): Status::err_arg when
     // rank/size fell outside the wire tag layout's addressable range.
     [[nodiscard]] Status status() const noexcept { return ctor_status_; }
+    // Wire-tag context id. Collective-op trace ids embed it (high word)
+    // next to the reserved tag block (low word) so op ids stay unique
+    // across communicators sharing one trace.
+    [[nodiscard]] std::uint16_t context() const noexcept { return context_; }
     [[nodiscard]] Universe& universe() noexcept { return uni_; }
     [[nodiscard]] ucx::Worker& worker() noexcept { return worker_; }
 

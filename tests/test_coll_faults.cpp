@@ -12,11 +12,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <numeric>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "base/flight_recorder.hpp"
+#include "base/trace.hpp"
 #include "core/builtin_serialize.hpp"
 #include "netsim/fault.hpp"
 #include "p2p/coll/vcoll.hpp"
@@ -240,6 +244,51 @@ TEST(CollFaults, HeavyLossTimesOutCleanly) {
     for (auto& t : threads) t.join();
     EXPECT_EQ(returned.load(), 3);
     EXPECT_GT(uni.fabric().faults().counters().dropped, 0u);
+}
+
+// A wedged collective must leave evidence. With the flight recorder
+// armed, a loss-watchdog expiry triggers a dump carrying the live
+// CollOp table — op id, family, algorithm, rounds and per-peer
+// posted/completed step counts — so the dump names the step that never
+// completed. force_reliable runs the protocol with zero injected loss:
+// the watchdog arms (reliable() is true) but nothing is ever dropped,
+// so the expiry comes purely from rank 0 never entering the barrier
+// the other two ranks join.
+TEST(CollFaults, WatchdogTimeoutTriggersFlightDump) {
+    netsim::FaultConfig f;
+    f.force_reliable = true;
+    const std::string path = "mpicd_coll_flight.txt";
+    std::remove(path.c_str());
+    flight::set_enabled(true, path);
+    std::atomic<int> timeouts{0};
+    {
+        Universe uni(3, lossy_params(), f);
+        std::vector<std::thread> threads;
+        for (int r = 1; r <= 2; ++r) {
+            threads.emplace_back([&uni, &timeouts, r] {
+                if (barrier(uni.comm(r)) == Status::timeout) ++timeouts;
+            });
+        }
+        for (auto& t : threads) t.join();
+    }
+    flight::set_enabled(false);
+    trace::set_enabled(false);
+
+    EXPECT_EQ(timeouts.load(), 2);
+    std::string dump;
+    if (std::FILE* file = std::fopen(path.c_str(), "rb")) {
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0)
+            dump.append(buf, n);
+        std::fclose(file);
+    }
+    EXPECT_NE(dump.find("reason: coll_watchdog_expired"), std::string::npos);
+    EXPECT_NE(dump.find("source: coll.ops"), std::string::npos);
+    EXPECT_NE(dump.find("live collective ops:"), std::string::npos);
+    EXPECT_NE(dump.find("fam=barrier"), std::string::npos);
+    EXPECT_NE(dump.find("peer="), std::string::npos);
+    std::remove(path.c_str());
 }
 
 } // namespace

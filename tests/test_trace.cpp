@@ -17,6 +17,8 @@
 #include "base/trace.hpp"
 #include "dt/datatype.hpp"
 #include "netsim/fault.hpp"
+#include "p2p/coll/nonblocking.hpp"
+#include "p2p/coll/vcoll.hpp"
 #include "p2p/communicator.hpp"
 #include "p2p/universe.hpp"
 #include "test_util.hpp"
@@ -373,6 +375,149 @@ TEST(Trace, TracingIsAPureObserver) {
             EXPECT_EQ(ev.msg, msg) << name;
         }
     }
+}
+
+// --- Collective tracing must also be a pure observer ----------------------
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct LossyCollResult {
+    // Per rank: (allreduce status, allgatherv status) and an FNV-1a hash
+    // over both result payloads.
+    std::vector<Status> ar_status;
+    std::vector<Status> agv_status;
+    std::vector<std::uint64_t> payload_hash;
+    // Summed over all workers (wall-clock-independent wire behaviour).
+    std::uint64_t bytes_received = 0;
+    std::uint64_t eager_sends = 0;
+    std::uint64_t retransmits = 0;
+};
+
+// Six ranks, three per node, running a hierarchical iallreduce +
+// allgatherv mix with ONE deterministically scheduled eager drop on the
+// leader uplink (0 -> 3). All payloads stay under the eager threshold and
+// the RTO is generous, so exactly the dropped packet retransmits — which
+// makes every wire-behaviour quantity comparable between a tracing-on
+// and a tracing-off run.
+LossyCollResult run_lossy_collectives() {
+    constexpr int kRanks = 6;
+    netsim::WireParams p = test::test_params();
+    p.ranks_per_node = 3;
+    p.eager_threshold = 4096;
+    p.rto_us = 500.0;
+    p.max_retries = 8;
+    p2p::Universe uni(kRanks, p, netsim::FaultConfig{});
+    netsim::ScheduledFault f;
+    f.src = 0;
+    f.dst = 3;
+    f.action = netsim::FaultAction::drop;
+    f.kind_filter = ucx::wire::kEager;
+    f.nth = 1;
+    uni.fabric().faults().schedule(f);
+
+    LossyCollResult out;
+    out.ar_status.resize(kRanks, Status::err_internal);
+    out.agv_status.resize(kRanks, Status::err_internal);
+    out.payload_hash.resize(kRanks, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(kRanks);
+    for (int r = 0; r < kRanks; ++r) {
+        threads.emplace_back([&uni, &out, r] {
+            auto& comm = uni.comm(r);
+            std::vector<double> acc(64, static_cast<double>(r + 1));
+            auto arq = p2p::coll::iallreduce(comm, acc.data(),
+                                             Count(acc.size()),
+                                             p2p::ReduceOp::sum);
+            out.ar_status[static_cast<std::size_t>(r)] = arq.wait();
+
+            std::vector<Count> counts(kRanks), displs(kRanks);
+            Count total = 0;
+            for (int i = 0; i < kRanks; ++i) {
+                counts[static_cast<std::size_t>(i)] = Count((i + 1) * 32);
+                displs[static_cast<std::size_t>(i)] = total;
+                total += counts[static_cast<std::size_t>(i)];
+            }
+            ByteVec mine(static_cast<std::size_t>(
+                counts[static_cast<std::size_t>(r)]));
+            for (std::size_t i = 0; i < mine.size(); ++i)
+                mine[i] = static_cast<std::byte>(r * 31 + int(i));
+            ByteVec all(static_cast<std::size_t>(total));
+            out.agv_status[static_cast<std::size_t>(r)] =
+                p2p::coll::allgatherv_bytes(comm, mine.data(),
+                                            Count(mine.size()), all.data(),
+                                            counts, displs);
+            std::uint64_t h = fnv1a(acc.data(),
+                                    acc.size() * sizeof(double),
+                                    14695981039346656037ull);
+            h = fnv1a(all.data(), all.size(), h);
+            out.payload_hash[static_cast<std::size_t>(r)] = h;
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (int r = 0; r < kRanks; ++r) {
+        const auto st = uni.worker(r).stats();
+        out.bytes_received += st.bytes_received;
+        out.eager_sends += st.eager_sends;
+        out.retransmits += st.retransmits;
+    }
+    return out;
+}
+
+TEST(Trace, CollTracingIsAPureObserver) {
+    // The run pair is deterministic except for one wall-clock leak: if a
+    // rank thread is descheduled >100 ms mid-collective (heavily loaded
+    // CI host), CollOp::on_stall charges idle wall time into the virtual
+    // clock and an in-flight packet can cross its RTO — one spurious
+    // retransmit in whichever run got starved. That is host scheduling,
+    // not a tracing effect, so retry the whole off/on pair when the wire
+    // counters disagree: a genuine pure-observer violation is systematic
+    // and fails every attempt, a descheduling artifact does not repeat.
+    LossyCollResult off, on;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        trace::set_enabled(false);
+        off = run_lossy_collectives();
+        trace::set_enabled(true);
+        trace::reset();
+        on = run_lossy_collectives();
+        trace::set_enabled(false);
+        if (on.retransmits == off.retransmits &&
+            on.bytes_received == off.bytes_received &&
+            on.eager_sends == off.eager_sends)
+            break;
+    }
+
+    // The scheduled leader-uplink drop fired and exactly recovered in
+    // both modes (generous RTO: one retransmit, no timeout cascades).
+    EXPECT_GE(off.retransmits, 1u);
+    EXPECT_EQ(on.retransmits, off.retransmits);
+
+    // Statuses, result payloads, and wire behaviour are identical: the
+    // coll.* instrumentation (op ids, MsgScope stamping, round events)
+    // never touches tags, packet contents, or the fragment schedule.
+    EXPECT_EQ(on.ar_status, off.ar_status);
+    EXPECT_EQ(on.agv_status, off.agv_status);
+    for (const auto st : on.ar_status) EXPECT_EQ(st, Status::success);
+    for (const auto st : on.agv_status) EXPECT_EQ(st, Status::success);
+    EXPECT_EQ(on.payload_hash, off.payload_hash);
+    EXPECT_EQ(on.bytes_received, off.bytes_received);
+    EXPECT_EQ(on.eager_sends, off.eager_sends);
+
+    // And the traced run captured the collective span vocabulary.
+    EXPECT_FALSE(events_named("op_begin").empty());
+    EXPECT_FALSE(events_named("round").empty());
+    EXPECT_FALSE(events_named("step_send").empty());
+    EXPECT_FALSE(events_named("step_recv").empty());
+    EXPECT_FALSE(events_named("op_end").empty());
+    // Every step instant carries a fresh non-zero msg id that attaches
+    // the p2p span tree to the op's round.
+    for (const auto& ev : events_named("step_send")) EXPECT_NE(ev.msg, 0u);
 }
 
 // --- Message-causal span tracing ------------------------------------------

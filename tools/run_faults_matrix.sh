@@ -32,6 +32,12 @@
 # collective progress hooks) is checked for data races, not just
 # correctness. MPICD_SKIP_TSAN=1 skips it.
 #
+# A final tracing leg replays the lossy fault/collective tests with
+# MPICD_TRACE=1 over one seed: span instrumentation (MsgScope stamping,
+# coll.* op/round instants, flight-recorder sources) must stay a pure
+# observer — the reliability protocol and every collective must behave
+# identically with the rings recording. MPICD_SKIP_TRACE=1 skips it.
+#
 # Usage: tools/run_faults_matrix.sh [build-dir] (default: build)
 set -euo pipefail
 
@@ -110,6 +116,22 @@ if [[ "${MPICD_SKIP_TSAN:-0}" != "1" ]]; then
           --repeat until-pass:2 -R "$TSAN_TESTS"
 else
     echo "=== tsan leg: skipped (MPICD_SKIP_TSAN=1) ==="
+fi
+
+if [[ "${MPICD_SKIP_TRACE:-0}" != "1" ]]; then
+    TRACE_TESTS='test_trace|test_faults|test_coll_faults|test_collectives'
+    echo "=== trace leg: lossy seed 42 with MPICD_TRACE=1 ==="
+    MPICD_TRACE=1 \
+    MPICD_FAULT_SEED=42 \
+    MPICD_FAULT_DROP=0.01 \
+    MPICD_FAULT_DUP=0.01 \
+    MPICD_FAULT_REORDER=0.01 \
+    MPICD_FAULT_CORRUPT=0.01 \
+    MPICD_FAULT_DELAY=0.05 \
+    MPICD_FAULT_DELAY_US=10 \
+    run_ctest -R "$TRACE_TESTS"
+else
+    echo "=== trace leg: skipped (MPICD_SKIP_TRACE=1) ==="
 fi
 
 echo "=== fault matrix: all passes green ==="

@@ -38,7 +38,12 @@ import sys
 
 # Event names that mark a data-bearing wire arrival for a message.
 # net.tx instants are stamped with the packet's *arrival* virtual time.
-WIRE_ARRIVAL = {"tx", "tx_ctrl", "frag_recv", "rndv_fin"}
+# rdma_frag/rndv_rdma cover the zero-copy rendezvous path, where data
+# moves by RDMA write instead of FRAG packets: their vt is the instant
+# the written bytes land, so they anchor the wire phase that would
+# otherwise collapse to zero on RDMA transfers.
+WIRE_ARRIVAL = {"tx", "tx_ctrl", "frag_recv", "rndv_fin", "rdma_frag",
+                "rndv_rdma"}
 # Control-plane kinds excluded from the "last data arrival" milestone:
 # an ACK arriving after the payload must not push the wire phase out.
 # Keep in sync with src/ucx/wire.hpp.
@@ -83,7 +88,7 @@ def group_by_msg(events):
 def is_data_arrival(ev):
     if ev["name"] not in WIRE_ARRIVAL or ev["vt"] is None:
         return False
-    if ev["name"] in ("frag_recv", "rndv_fin"):
+    if ev["name"] in ("frag_recv", "rndv_fin", "rdma_frag", "rndv_rdma"):
         return True
     kind = ev["args"].get("kind")
     # tx/tx_ctrl: only count packets that carry (or complete) the data
